@@ -1,0 +1,69 @@
+"""Figure 8: effect of the initial (seed) cluster volume.
+
+Paper setup: 100 clusters of volume 100 embedded in 3000 x 100; seed
+volumes set to (c*3000) x (c*100); the x axis is the difference ratio
+(V_init - V_emb) / V_emb.  Both the number of iterations and the response
+time are minimized when seeds match the embedded volume (ratio 0) and
+grow as seeds become too small or too large.
+
+Here: 8 clusters of volume 600 in 300 x 60; seeds at difference ratios
+-0.75 .. +3.  The shape to check: a U-ish curve with its minimum at or
+near ratio 0.
+"""
+
+import numpy as np
+from conftest import once
+
+from repro import Constraints
+from repro.eval.experiment import ExperimentConfig, run_trial
+from repro.eval.reporting import format_series
+
+EMBEDDED_VOLUME = 600.0
+RATIOS = (-0.75, -0.5, 0.0, 1.0, 3.0)
+
+
+def run_ratio(ratio: float):
+    config = ExperimentConfig(
+        n_rows=300,
+        n_cols=60,
+        n_embedded=8,
+        embedded_mean_volume=EMBEDDED_VOLUME,
+        embedded_aspect=1.5,
+        noise=3.0,
+        k=8,
+        seed_mean_volume=EMBEDDED_VOLUME * (1.0 + ratio),
+        seed_variance_level=0.0,
+        ordering="greedy",
+        gain_mode="fast",
+        residue_target_factor=2.0,
+        constraints=Constraints(min_rows=3, min_cols=3),
+        max_iterations=60,
+    )
+    records = [run_trial(config, rng=seed).as_record() for seed in (1, 2, 3)]
+    return (
+        float(np.mean([r["iterations"] for r in records])),
+        float(np.mean([r["time_s"] for r in records])),
+    )
+
+
+def test_fig8_initial_cluster_volume(benchmark, report):
+    outcomes = once(
+        benchmark, lambda: {ratio: run_ratio(ratio) for ratio in RATIOS}
+    )
+    iterations = [outcomes[r][0] for r in RATIOS]
+    times = [outcomes[r][1] for r in RATIOS]
+    text = format_series(
+        "(Vinit-Vemb)/Vemb",
+        list(RATIOS),
+        {"iterations": iterations, "time_s": times},
+        title="Figure 8 -- effect of the initial cluster volume\n"
+              "(paper: iterations and time minimized when seeds match the "
+              "embedded volume, ratio 0)",
+    )
+    report("fig8_initial_volume", text)
+
+    at_zero = outcomes[0.0][0]
+    # Shape: matching seeds shouldn't take more iterations than the
+    # extremes of the sweep.
+    assert at_zero <= max(iterations) + 1e-9
+    assert at_zero <= np.mean(iterations) * 1.5

@@ -1,0 +1,68 @@
+"""Micro-benchmarks of the core primitives.
+
+Not paper artifacts -- these pin the per-operation costs that the
+complexity analysis of Section 4.2 is built from: the O(n*m) residue
+scan, the exact toggle evaluation, and the O(k*m) vectorized fast-gain
+batch.  Useful for spotting performance regressions; these DO use
+pytest-benchmark's repeated rounds since each call is microseconds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.actions import evaluate_toggle
+from repro.core.floc import _State
+from repro.core.residue import mean_abs_residue
+from repro.core.seeding import bernoulli_seeds
+
+
+@pytest.fixture(scope="module")
+def payload():
+    rng = np.random.default_rng(0)
+    values = rng.normal(size=(600, 80))
+    values[rng.random((600, 80)) < 0.1] = np.nan
+    mask = ~np.isnan(values)
+    seeds = bernoulli_seeds(600, 80, 16, 0.15, rng)
+    state = _State(values, mask, seeds, fast=True)
+    row_member = np.zeros(600, dtype=bool)
+    row_member[:120] = True
+    col_member = np.zeros(80, dtype=bool)
+    col_member[:16] = True
+    return values, row_member, col_member, state
+
+
+def test_mean_abs_residue_120x16(benchmark, payload):
+    values, row_member, col_member, __ = payload
+    sub = values[np.ix_(np.flatnonzero(row_member), np.flatnonzero(col_member))]
+    result = benchmark(mean_abs_residue, sub)
+    assert result >= 0.0
+
+
+def test_exact_toggle_evaluation(benchmark, payload):
+    values, row_member, col_member, __ = payload
+    residue, volume = benchmark(
+        evaluate_toggle, values, row_member, col_member, "row", 400
+    )
+    assert volume > 0
+
+
+def test_fast_candidate_batch_16_clusters(benchmark, payload):
+    __, __, __, state = payload
+    new_res, new_vol, line_res, line_counts, widths = benchmark(
+        state.candidate_parts_batch, "row", 400
+    )
+    assert new_res.shape == (16,)
+    assert np.isfinite(new_res).all()
+    assert (widths > 0).all()
+
+
+def test_fast_candidate_single(benchmark, payload):
+    __, __, __, state = payload
+    residue, volume = benchmark(state.fast_candidate, "row", 400, 0)
+    assert np.isfinite(residue)
+
+
+def test_refresh_cluster(benchmark, payload):
+    __, __, __, state = payload
+    benchmark(state.refresh_cluster, 0)
+    assert state.volumes[0] >= 0

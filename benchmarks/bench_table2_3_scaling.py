@@ -1,0 +1,114 @@
+"""Tables 2 and 3: iterations and response time vs matrix size and k.
+
+Paper setup: matrices from 100 x 20 up to 3000 x 100 with 50 embedded
+clusters, k in {10, 20, 50, 100}; iterations grow very slowly (5..11) and
+response time is roughly linear in matrix volume x k.
+
+Here: the same sweep scaled down 1/4-ish (pure-Python arithmetic instead
+of the authors' C on a 333 MHz AIX box): sizes up to 750 x 50, k up to
+24, 12 embedded clusters.  The shape to check: iteration counts of order
+10 that creep up slowly with size and k, and response time roughly
+proportional to volume x k.
+"""
+
+from conftest import once
+
+from repro import Constraints
+from repro.eval.experiment import ExperimentConfig, run_trial
+from repro.eval.reporting import format_table
+
+SIZES = [(100, 20), (250, 30), (500, 40), (750, 50)]
+KS = [6, 12, 18, 24]
+
+
+def run_cell(n_rows, n_cols, k, rng):
+    config = ExperimentConfig(
+        n_rows=n_rows,
+        n_cols=n_cols,
+        n_embedded=12,
+        embedded_mean_volume=0.004 * n_rows * n_cols,
+        embedded_aspect=1.5,
+        noise=3.0,
+        k=k,
+        p=(0.05 + 0.2) / 2,  # paper: 0.05*N rows, 0.2*M cols
+        ordering="weighted",
+        gain_mode="fast",
+        residue_target_factor=2.0,
+        constraints=Constraints(min_rows=3, min_cols=3),
+        max_iterations=40,
+    )
+    return run_trial(config, rng=rng)
+
+
+def run_sweep():
+    iteration_rows = []
+    time_rows = []
+    for k in KS:
+        iteration_row = [k]
+        time_row = [k]
+        for n_rows, n_cols in SIZES:
+            trial = run_cell(n_rows, n_cols, k, rng=1)
+            iteration_row.append(trial.n_iterations)
+            time_row.append(trial.elapsed_seconds)
+        iteration_rows.append(iteration_row)
+        time_rows.append(time_row)
+    return iteration_rows, time_rows
+
+
+def test_table2_iterations_and_table3_time(benchmark, report):
+    iteration_rows, time_rows = once(benchmark, run_sweep)
+    size_headers = [f"{r}x{c}" for r, c in SIZES]
+
+    text2 = format_table(
+        iteration_rows,
+        headers=["k"] + size_headers,
+        title="Table 2 -- number of iterations vs matrix size and k\n"
+              "(paper: 5..11 iterations, growing slowly with both)",
+    )
+    report("table2_iterations", text2)
+
+    text3 = format_table(
+        time_rows,
+        headers=["k"] + size_headers,
+        title="Table 3 -- response time (s) vs matrix size and k\n"
+              "(paper: roughly linear in matrix volume and k)",
+        precision=2,
+    )
+    report("table3_response_time", text3)
+
+    # Shape assertions.
+    all_iterations = [it for row in iteration_rows for it in row[1:]]
+    assert max(all_iterations) <= 40, "iterations should stay of order 10"
+    # Time grows with matrix volume: the largest size must cost more than
+    # the smallest at equal k (allowing generous noise).
+    for row in time_rows:
+        assert row[-1] > row[1] * 0.8
+
+    # Time grows with k at the largest size.
+    largest_col = [row[-1] for row in time_rows]
+    assert largest_col[-1] > largest_col[0] * 0.8
+
+
+def test_table3_linearity_in_volume(benchmark, report):
+    """Response time per (volume x k) unit should be roughly flat."""
+    def run():
+        rates = []
+        for (n_rows, n_cols), k in zip(SIZES, (6, 6, 6, 6)):
+            trial = run_cell(n_rows, n_cols, k, rng=2)
+            volume = n_rows * n_cols
+            rates.append([f"{n_rows}x{n_cols}", volume,
+                          trial.elapsed_seconds,
+                          1e6 * trial.elapsed_seconds / (volume * k)])
+        return rates
+
+    rates = once(benchmark, run)
+    text = format_table(
+        rates,
+        headers=["size", "cells", "time (s)", "us per cell*k"],
+        title="Table 3 companion -- normalized cost (flat => linear "
+              "scaling, as the complexity analysis predicts)",
+    )
+    report("table3_linearity", text)
+    normalized = [row[3] for row in rates]
+    # Within an order of magnitude across a 19x volume range.
+    assert max(normalized) / max(min(normalized), 1e-9) < 25

@@ -1,0 +1,74 @@
+"""Table 5: quality vs the variance of embedded cluster volumes.
+
+Paper setup: 100 clusters of mean volume 300 (average residue 5) embedded
+in 3000 x 100; embedded volumes follow an Erlang distribution whose
+variance level sweeps 0..5; seeds drawn with variance level 3.  Reported:
+residue ~11, recall 0.86-0.87, precision 0.87-0.90, *flat across the
+sweep* -- volume disparity costs efficiency, not quality.
+
+Here: 10 clusters of mean volume 600 in 300 x 60 (aspect 1.5 so clusters
+stay wide enough to be recoverable).  The shape to check: recall and
+precision roughly flat as the variance level grows.
+"""
+
+import numpy as np
+from conftest import once
+
+from repro import Constraints
+from repro.eval.experiment import ExperimentConfig, run_trial
+from repro.eval.reporting import format_table
+
+VARIANCE_LEVELS = (0, 1, 2, 3, 4, 5)
+
+
+def run_level(level: float):
+    config = ExperimentConfig(
+        n_rows=300,
+        n_cols=60,
+        n_embedded=8,
+        embedded_mean_volume=500.0,
+        embedded_variance_level=level,
+        embedded_aspect=1.5,
+        noise=3.0,
+        k=10,
+        p=0.2,
+        seed_mean_volume=500.0,
+        seed_variance_level=3.0,
+        ordering="greedy",
+        gain_mode="fast",
+        residue_target_factor=2.0,
+        reseed_rounds=10,
+        constraints=Constraints(min_rows=3, min_cols=3),
+    )
+    records = [run_trial(config, rng=seed).as_record() for seed in (1, 2)]
+    return {
+        key: float(np.mean([r[key] for r in records])) for key in records[0]
+    }
+
+
+def test_table5_embedded_volume_variance(benchmark, report):
+    summaries = once(
+        benchmark,
+        lambda: {level: run_level(level) for level in VARIANCE_LEVELS},
+    )
+    rows = [
+        [level,
+         summaries[level]["residue"],
+         summaries[level]["recall"],
+         summaries[level]["precision"]]
+        for level in VARIANCE_LEVELS
+    ]
+    text = format_table(
+        rows,
+        headers=["variance", "residue", "recall", "precision"],
+        title="Table 5 -- quality vs embedded-volume variance\n"
+              "(paper: recall 0.86-0.87 and precision 0.87-0.90, flat "
+              "across variance 0..5)",
+    )
+    report("table5_embedded_variance", text)
+
+    recalls = [summaries[level]["recall"] for level in VARIANCE_LEVELS]
+    precisions = [summaries[level]["precision"] for level in VARIANCE_LEVELS]
+    # Shape: quality does not collapse as volumes become disparate.
+    assert min(precisions) > 0.5
+    assert max(recalls) - min(recalls) < 0.5

@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at a scale a
+laptop can handle (the scale factors are recorded in EXPERIMENTS.md) and
+writes the rendered table to ``benchmarks/results/<name>.txt`` as well as
+printing it, so the artifacts survive the pytest run.
+"""
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Callable that persists and prints a rendered results table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _report(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _report
+
+
+def once(benchmark, func):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are full mining runs (seconds to minutes); letting
+    pytest-benchmark calibrate with repeated rounds would multiply the
+    suite's runtime for no statistical benefit.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1)

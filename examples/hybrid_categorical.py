@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Hybrid numeric + categorical delta-clusters (paper footnote 2).
+
+The paper notes that attributes "can take either numerical or categorical
+values" and defers the categorical case to a full version that never
+appeared.  This example shows the natural construction this library
+ships: one-hot indicator columns, on which shifting coherence degenerates
+to *agreement* -- so FLOC mines groups of objects that simultaneously
+
+* follow a numeric shifting pattern on some measurements, and
+* share category values on some discrete attributes.
+
+Scenario: customers with numeric (spend, visits) profiles and categorical
+(region, plan) attributes; a hidden segment shares a plan and a coherent
+spend/visit pattern.
+
+Run:  python examples/hybrid_categorical.py
+"""
+
+import numpy as np
+
+from repro import Constraints, floc
+from repro.data.categorical import encode_hybrid
+from repro.eval.reporting import format_table
+
+
+def build_customers(rng):
+    n = 120
+    spend = list(rng.uniform(10.0, 500.0, size=n))
+    visits = list(rng.uniform(1.0, 60.0, size=n))
+    regions = [str(rng.choice(["north", "south", "east", "west"]))
+               for __ in range(n)]
+    plans = [str(rng.choice(["basic", "plus", "pro"])) for __ in range(n)]
+
+    # Hidden segment: customers 0-29 are all on the "pro" plan and their
+    # spend/visits follow one shifted pattern (personal offset each).
+    for row in range(30):
+        offset = rng.uniform(-40.0, 40.0)
+        spend[row] = 300.0 + offset
+        visits[row] = 30.0 + offset * 0.1
+        plans[row] = "pro"
+    return spend, visits, regions, plans
+
+
+def main():
+    rng = np.random.default_rng(0)
+    spend, visits, regions, plans = build_customers(rng)
+    encoding = encode_hybrid(
+        [spend, visits, regions, plans],
+        categorical=[2, 3],
+        scale_numeric=True,
+    )
+    names = ["spend", "visits", "region", "plan"]
+    print(f"encoded matrix: {encoding.matrix.shape} "
+          f"(2 numeric columns + "
+          f"{encoding.matrix.n_cols - 2} category indicators)")
+    print()
+
+    result = floc(
+        encoding.matrix, k=4, p=0.3,
+        residue_target=0.05,   # indicator scale: near-agreement required
+        constraints=Constraints(min_rows=4, min_cols=3),
+        reseed_rounds=10, gain_mode="fast", ordering="greedy", rng=1,
+    )
+    rows = []
+    for index, cluster in enumerate(result.clustering):
+        if cluster.residue(encoding.matrix) > 0.05 or cluster.n_rows < 8:
+            continue
+        segment_hits = len(set(cluster.rows) & set(range(30)))
+        described = encoding.describe_cluster(cluster)
+        attributes = []
+        for original, values in sorted(described.items()):
+            if values:
+                attributes.append(f"{names[original]}={'/'.join(values)}")
+            else:
+                attributes.append(names[original])
+        rows.append([
+            index,
+            cluster.n_rows,
+            ", ".join(attributes),
+            f"{segment_hits}/30",
+            cluster.residue(encoding.matrix),
+        ])
+    print(format_table(
+        rows,
+        headers=["cluster", "customers", "attributes (value)",
+                 "hidden segment", "residue"],
+        title="Coherent customer segments (numeric pattern + shared "
+              "categories)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Gene-expression module discovery (Section 6.1.2).
+
+Mines co-expression modules -- genes whose expression "rises and falls
+coherently under a subset of conditions" -- from a yeast-like matrix, and
+reruns the paper's FLOC-vs-Cheng&Church comparison:
+
+* FLOC handles the matrix natively (missing values allowed, no masking);
+* Cheng & Church needs random fill + finds biclusters one at a time,
+  masking each with random values (the behaviour the paper criticizes).
+
+The paper reports FLOC reaching lower average residue (10.34 vs 12.54),
+~20% more aggregated volume, and an order of magnitude less time.
+
+Run:  python examples/microarray_analysis.py
+"""
+
+import numpy as np
+
+from repro import Constraints, find_biclusters, floc, generate_yeast_like
+from repro.eval.metrics import match_clusters
+from repro.eval.reporting import format_table
+
+
+def main():
+    print("generating yeast-like expression matrix "
+          "(2884 x 17 scaled to 400 x 17, 8 planted modules)...")
+    dataset = generate_yeast_like(
+        n_genes=400, n_conditions=17, n_modules=8,
+        module_shape=(25, 8), noise=5.0, rng=0,
+    )
+    module_residue = float(np.mean(
+        [m.residue(dataset.matrix) for m in dataset.modules]
+    ))
+    print(f"matrix {dataset.matrix.shape}, planted module residue "
+          f"~{module_residue:.1f}")
+    print()
+
+    # ---- FLOC ----------------------------------------------------------
+    target = 2 * module_residue
+    floc_result = floc(
+        dataset.matrix, k=10, p=0.2,
+        residue_target=target,
+        constraints=Constraints(min_rows=4, min_cols=4),
+        reseed_rounds=15, gain_mode="fast", ordering="greedy", rng=1,
+    )
+    floc_clusters = [
+        c for c in floc_result.clustering
+        if c.residue(dataset.matrix) <= target and c.entry_count() > 32
+    ]
+    floc_volume = sum(c.volume(dataset.matrix) for c in floc_clusters)
+    floc_residue = float(np.mean(
+        [c.residue(dataset.matrix) for c in floc_clusters]
+    )) if floc_clusters else float("nan")
+
+    # ---- Cheng & Church -------------------------------------------------
+    cc_result = find_biclusters(
+        dataset.matrix, len(floc_clusters) or 8,
+        delta=target ** 2,   # their score is the mean SQUARED residue
+        rng=2, min_rows_for_batch=100, min_cols_for_batch=100,
+    )
+    cc_clusters = cc_result.to_delta_clusters()
+    cc_volume = sum(c.volume(dataset.matrix) for c in cc_clusters)
+    cc_residue = float(np.mean(
+        [c.residue(dataset.matrix) for c in cc_clusters]
+    ))
+
+    print(format_table(
+        [
+            ["FLOC", len(floc_clusters), floc_residue, floc_volume,
+             floc_result.elapsed_seconds],
+            ["Cheng & Church", len(cc_clusters), cc_residue, cc_volume,
+             cc_result.elapsed_seconds],
+        ],
+        headers=["algorithm", "clusters", "avg residue", "total volume",
+                 "time (s)"],
+        title="FLOC vs the biclustering baseline (compare Section 6.1.2)",
+    ))
+    print()
+
+    # ---- which planted modules did FLOC recover? ------------------------
+    matches = match_clusters(dataset.modules, floc_clusters)
+    rows = []
+    for module_index, cluster_index, jaccard in matches:
+        module = dataset.modules[module_index]
+        rows.append([
+            f"module {module_index}",
+            f"{module.n_rows} x {module.n_cols}",
+            "-" if cluster_index is None else f"cluster {cluster_index}",
+            jaccard,
+        ])
+    print(format_table(
+        rows,
+        headers=["planted", "shape", "recovered by", "jaccard"],
+        title="Module recovery",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Collaborative filtering with delta-clusters (Section 6.1.1).
+
+The paper's E-commerce motivation: viewers whose ratings differ only by a
+personal offset are *coherent*, and a discovered delta-cluster can predict
+a member's rating for a movie from the other members' ratings plus the
+member's bias.  This example:
+
+1. generates a MovieLens-like sparse ratings matrix (the real dump is not
+   downloadable offline; see DESIGN.md for the substitution),
+2. mines delta-clusters with FLOC at alpha = 0.6 as in the paper,
+3. prints Table-1-style statistics for the discovered clusters, and
+4. demonstrates rating *prediction*: hide a rating, predict it from the
+   cluster bases (d_iJ + d_Ij - d_IJ), compare to the truth.
+
+Run:  python examples/movielens_recommendation.py
+"""
+
+import numpy as np
+
+from repro import Constraints, floc, generate_ratings
+from repro.core.residue import compute_bases
+from repro.eval.reporting import format_table
+
+
+def mine_clusters(dataset):
+    result = floc(
+        dataset.matrix,
+        k=6,
+        p=0.25,
+        alpha=0.6,           # the paper's occupancy threshold
+        residue_target=0.8,  # rounded 1..10 ratings: coherent ~ 0.5
+        constraints=Constraints(min_rows=3, min_cols=3),
+        reseed_rounds=8,
+        gain_mode="fast",
+        ordering="greedy",
+        rng=11,
+    )
+    locked = [
+        c for c in result.clustering
+        if c.residue(dataset.matrix) <= 0.8 and c.entry_count() > 25
+    ]
+    return result, locked
+
+
+def table1_statistics(dataset, clusters):
+    rows = []
+    for cluster in clusters:
+        rows.append([
+            cluster.volume(dataset.matrix),
+            cluster.n_cols,              # movies
+            cluster.n_rows,              # viewers
+            cluster.residue(dataset.matrix),
+            cluster.diameter(dataset.matrix),
+        ])
+    print(format_table(
+        rows,
+        headers=["volume", "movies", "viewers", "residue", "diameter"],
+        title="Discovered clusters (compare Table 1 of the paper)",
+    ))
+    print()
+
+
+def predict_rating(matrix, cluster, user, movie):
+    """Predict d[user, movie] from the cluster bases, hiding the truth.
+
+    The paper's Section 1 example: if the cluster is coherent, the entry
+    is d_iJ + d_Ij - d_IJ (the perfect-cluster identity of Section 3).
+    """
+    values = matrix.values.copy()
+    truth = values[user, movie]
+    values[user, movie] = np.nan  # hide it
+    rows = list(cluster.rows)
+    cols = list(cluster.cols)
+    sub = values[np.ix_(rows, cols)]
+    bases = compute_bases(sub)
+    i = rows.index(user)
+    j = cols.index(movie)
+    prediction = bases.row[i] + bases.col[j] - bases.grand
+    return prediction, truth
+
+
+def main():
+    print("generating MovieLens-like ratings (943 x 1682 scaled to "
+          "300 x 400, ~8% dense, 1..10 integer scale)...")
+    dataset = generate_ratings(
+        n_users=300, n_movies=400, n_groups=4, group_size=40,
+        signature_movies=40, density=0.08, min_ratings=20, rng=7,
+    )
+    print(f"matrix: {dataset.matrix.shape}, "
+          f"density {dataset.matrix.density:.3f}, "
+          f"every user rated >= 20 movies")
+    print()
+
+    result, locked = mine_clusters(dataset)
+    print(f"FLOC: {result.n_iterations} iterations, "
+          f"{result.elapsed_seconds:.1f}s, "
+          f"{len(locked)} coherent clusters found")
+    print()
+    table1_statistics(dataset, locked)
+
+    if not locked:
+        print("no coherent cluster found; try another seed")
+        return
+    cluster = max(locked, key=lambda c: c.volume(dataset.matrix))
+    print("Rating prediction from the largest cluster "
+          f"({cluster.n_rows} viewers x {cluster.n_cols} movies):")
+    rng = np.random.default_rng(0)
+    errors = []
+    rows = []
+    for __ in range(5):
+        user = int(rng.choice(cluster.rows))
+        movie = int(rng.choice(cluster.cols))
+        if not dataset.matrix.mask[user, movie]:
+            continue
+        predicted, truth = predict_rating(dataset.matrix, cluster, user, movie)
+        errors.append(abs(predicted - truth))
+        rows.append([user, movie, truth, predicted, abs(predicted - truth)])
+    print(format_table(
+        rows,
+        headers=["viewer", "movie", "true", "predicted", "abs error"],
+    ))
+    if errors:
+        print(f"\nmean absolute error: {np.mean(errors):.2f} rating points "
+              "(scale 1..10)")
+
+
+if __name__ == "__main__":
+    main()

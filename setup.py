@@ -1,0 +1,7 @@
+"""Legacy setup shim so ``pip install -e . --no-use-pep517`` works offline
+(the sandbox has setuptools but no ``wheel`` package, which PEP 517
+editable installs require).  All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

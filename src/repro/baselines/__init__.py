@@ -1,0 +1,33 @@
+"""Baseline algorithms the paper compares against or argues about."""
+
+from .cheng_church import (
+    Bicluster,
+    ChengChurchResult,
+    col_msr_contributions,
+    fill_missing_with_random,
+    find_bicluster,
+    find_biclusters,
+    msr,
+    multiple_node_deletion,
+    node_addition,
+    row_msr_contributions,
+    single_node_deletion,
+)
+from .pearson import correlation_groups, pairwise_pearson, pearson_r
+
+__all__ = [
+    "Bicluster",
+    "ChengChurchResult",
+    "col_msr_contributions",
+    "correlation_groups",
+    "fill_missing_with_random",
+    "find_bicluster",
+    "find_biclusters",
+    "msr",
+    "multiple_node_deletion",
+    "node_addition",
+    "pairwise_pearson",
+    "pearson_r",
+    "row_msr_contributions",
+    "single_node_deletion",
+]

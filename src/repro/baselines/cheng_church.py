@@ -1,0 +1,419 @@
+"""Cheng & Church biclustering (ISMB 2000) -- the paper's baseline [3].
+
+Section 6.1.2 compares FLOC against "the algorithm described in [3]" on the
+yeast matrix: FLOC finds 100 clusters with average residue 10.34 vs 12.54,
+~20% more aggregated volume, and an order of magnitude less response time.
+To regenerate that comparison we implement the full Cheng & Church
+pipeline:
+
+* the mean **squared** residue score ``H(I, J)`` (their delta is a bound
+  on H, not on the arithmetic-mean residue FLOC uses),
+* **single node deletion** (Algorithm 1): repeatedly drop the row or
+  column with the largest squared-residue contribution until ``H <=
+  delta``,
+* **multiple node deletion** (Algorithm 2): while the matrix is large,
+  drop *every* row/column whose contribution exceeds
+  ``threshold * H`` in one sweep,
+* **node addition** (Algorithm 3): grow the bicluster back by adding
+  rows/columns whose contribution does not raise ``H``, optionally
+  including *inverted* rows (mirror-image co-regulation), and
+* **masking**: after a bicluster is reported, its cells in the working
+  matrix are replaced with uniform random values so the next run finds a
+  different bicluster.  This masking is exactly the behaviour the paper
+  criticizes ("produces less accurate result ... bears an inefficient
+  performance"), so it must be reproduced faithfully.
+
+Missing values: Cheng & Church assume a fully specified matrix; their own
+preprocessing replaces missing entries with random values, provided here
+as :func:`fill_missing_with_random`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..core.cluster import DeltaCluster
+from ..core.matrix import DataMatrix
+from ..core.residue import compute_bases
+
+__all__ = [
+    "Bicluster",
+    "ChengChurchResult",
+    "msr",
+    "row_msr_contributions",
+    "col_msr_contributions",
+    "single_node_deletion",
+    "multiple_node_deletion",
+    "node_addition",
+    "find_bicluster",
+    "find_biclusters",
+    "fill_missing_with_random",
+]
+
+
+@dataclass(frozen=True)
+class Bicluster:
+    """One discovered bicluster with its final squared-residue score."""
+
+    rows: Tuple[int, ...]
+    cols: Tuple[int, ...]
+    score: float
+
+    def to_delta_cluster(self) -> DeltaCluster:
+        return DeltaCluster(self.rows, self.cols)
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def n_cols(self) -> int:
+        return len(self.cols)
+
+
+@dataclass
+class ChengChurchResult:
+    """All biclusters found in one run, plus timing."""
+
+    biclusters: List[Bicluster] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    def to_delta_clusters(self) -> List[DeltaCluster]:
+        return [b.to_delta_cluster() for b in self.biclusters]
+
+
+# ----------------------------------------------------------------------
+# Scores
+# ----------------------------------------------------------------------
+def msr(sub: np.ndarray) -> float:
+    """Mean squared residue H(I, J) of a submatrix (count-aware)."""
+    mask = ~np.isnan(sub)
+    volume = int(mask.sum())
+    if volume == 0:
+        return 0.0
+    bases = compute_bases(sub)
+    raw = sub - bases.row[:, None] - bases.col[None, :] + bases.grand
+    return float(np.square(np.where(mask, raw, 0.0)).sum() / volume)
+
+
+def _squared_residues(sub: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    mask = ~np.isnan(sub)
+    bases = compute_bases(sub)
+    raw = sub - bases.row[:, None] - bases.col[None, :] + bases.grand
+    return np.square(np.where(mask, raw, 0.0)), mask
+
+
+def row_msr_contributions(sub: np.ndarray) -> np.ndarray:
+    """d(i): mean squared residue of each row within the submatrix."""
+    squares, mask = _squared_residues(sub)
+    counts = mask.sum(axis=1)
+    return np.where(counts > 0, squares.sum(axis=1) / np.maximum(counts, 1), 0.0)
+
+
+def col_msr_contributions(sub: np.ndarray) -> np.ndarray:
+    """e(j): mean squared residue of each column within the submatrix."""
+    squares, mask = _squared_residues(sub)
+    counts = mask.sum(axis=0)
+    return np.where(counts > 0, squares.sum(axis=0) / np.maximum(counts, 1), 0.0)
+
+
+# ----------------------------------------------------------------------
+# Algorithms 1-3
+# ----------------------------------------------------------------------
+def single_node_deletion(
+    values: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    delta: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Algorithm 1: drop the worst row/column until ``H <= delta``."""
+    rows = np.asarray(rows, dtype=np.intp).copy()
+    cols = np.asarray(cols, dtype=np.intp).copy()
+    while rows.size > 1 and cols.size > 1:
+        sub = values[np.ix_(rows, cols)]
+        if msr(sub) <= delta:
+            break
+        d = row_msr_contributions(sub)
+        e = col_msr_contributions(sub)
+        worst_row = int(np.argmax(d))
+        worst_col = int(np.argmax(e))
+        if d[worst_row] >= e[worst_col]:
+            rows = np.delete(rows, worst_row)
+        else:
+            cols = np.delete(cols, worst_col)
+    return rows, cols
+
+
+def multiple_node_deletion(
+    values: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    delta: float,
+    threshold: float = 1.2,
+    min_rows_for_batch: int = 100,
+    min_cols_for_batch: int = 100,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Algorithm 2: batch-drop every node whose contribution > threshold*H.
+
+    ``threshold`` is Cheng & Church's alpha (> 1; they use 1.2).  Batch
+    deletion only applies to an axis while it is larger than the
+    corresponding ``min_*_for_batch`` (they use 100); below that the
+    caller should finish with :func:`single_node_deletion`.
+    """
+    if threshold <= 1.0:
+        raise ValueError(f"threshold must exceed 1, got {threshold}")
+    rows = np.asarray(rows, dtype=np.intp).copy()
+    cols = np.asarray(cols, dtype=np.intp).copy()
+    while True:
+        sub = values[np.ix_(rows, cols)]
+        h = msr(sub)
+        if h <= delta:
+            break
+        changed = False
+        if rows.size > min_rows_for_batch:
+            d = row_msr_contributions(sub)
+            keep = d <= threshold * h
+            if keep.sum() >= 2 and not keep.all():
+                rows = rows[keep]
+                changed = True
+                sub = values[np.ix_(rows, cols)]
+                h = msr(sub)
+                if h <= delta:
+                    break
+        if cols.size > min_cols_for_batch:
+            e = col_msr_contributions(sub)
+            keep = e <= threshold * h
+            if keep.sum() >= 2 and not keep.all():
+                cols = cols[keep]
+                changed = True
+        if not changed:
+            break
+    return rows, cols
+
+
+def node_addition(
+    values: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    include_inverted_rows: bool = False,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Algorithm 3: grow the bicluster without raising its score.
+
+    Columns first, then rows -- each axis admits every candidate whose
+    mean squared residue against the current bases is at most ``H``.
+    With ``include_inverted_rows`` the mirror-image test
+    ``-d_ij + d_iJ - d_Ij + d_IJ`` also admits rows (co-regulation with
+    opposite sign), matching Cheng & Church's optional step.
+    """
+    n_rows, n_cols = values.shape
+    rows = np.asarray(rows, dtype=np.intp).copy()
+    cols = np.asarray(cols, dtype=np.intp).copy()
+    while True:
+        changed = False
+        sub = values[np.ix_(rows, cols)]
+        h = msr(sub)
+
+        # Column additions.
+        outside_cols = np.setdiff1d(np.arange(n_cols), cols, assume_unique=False)
+        if outside_cols.size:
+            added_cols = _admissible_cols(values, rows, cols, outside_cols, h)
+            if added_cols.size:
+                cols = np.sort(np.concatenate([cols, added_cols]))
+                changed = True
+                sub = values[np.ix_(rows, cols)]
+                h = msr(sub)
+
+        # Row additions.
+        outside_rows = np.setdiff1d(np.arange(n_rows), rows, assume_unique=False)
+        if outside_rows.size:
+            added_rows = _admissible_rows(
+                values, rows, cols, outside_rows, h, include_inverted_rows
+            )
+            if added_rows.size:
+                rows = np.sort(np.concatenate([rows, added_rows]))
+                changed = True
+
+        if not changed:
+            break
+    return rows, cols
+
+
+def _admissible_cols(
+    values: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    candidates: np.ndarray,
+    h: float,
+) -> np.ndarray:
+    sub = values[np.ix_(rows, cols)]
+    bases = compute_bases(sub)
+    block = values[np.ix_(rows, candidates)]
+    block_mask = ~np.isnan(block)
+    counts = block_mask.sum(axis=0)
+    with np.errstate(invalid="ignore"):
+        col_means = np.where(
+            counts > 0,
+            np.where(block_mask, block, 0.0).sum(axis=0) / np.maximum(counts, 1),
+            0.0,
+        )
+    raw = block - bases.row[:, None] - col_means[None, :] + bases.grand
+    squares = np.square(np.where(block_mask, raw, 0.0))
+    scores = np.where(counts > 0, squares.sum(axis=0) / np.maximum(counts, 1), np.inf)
+    return candidates[scores <= h]
+
+
+def _admissible_rows(
+    values: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    candidates: np.ndarray,
+    h: float,
+    include_inverted: bool,
+) -> np.ndarray:
+    sub = values[np.ix_(rows, cols)]
+    bases = compute_bases(sub)
+    block = values[np.ix_(candidates, cols)]
+    block_mask = ~np.isnan(block)
+    counts = block_mask.sum(axis=1)
+    with np.errstate(invalid="ignore"):
+        row_means = np.where(
+            counts > 0,
+            np.where(block_mask, block, 0.0).sum(axis=1) / np.maximum(counts, 1),
+            0.0,
+        )
+    raw = block - row_means[:, None] - bases.col[None, :] + bases.grand
+    squares = np.square(np.where(block_mask, raw, 0.0))
+    scores = np.where(counts > 0, squares.sum(axis=1) / np.maximum(counts, 1), np.inf)
+    admitted = scores <= h
+    if include_inverted:
+        inv_raw = -block + row_means[:, None] - bases.col[None, :] + bases.grand
+        inv_squares = np.square(np.where(block_mask, inv_raw, 0.0))
+        inv_scores = np.where(
+            counts > 0, inv_squares.sum(axis=1) / np.maximum(counts, 1), np.inf
+        )
+        admitted |= inv_scores <= h
+    return candidates[admitted]
+
+
+# ----------------------------------------------------------------------
+# Full pipeline
+# ----------------------------------------------------------------------
+def find_bicluster(
+    values: np.ndarray,
+    delta: float,
+    threshold: float = 1.2,
+    include_inverted_rows: bool = False,
+    min_rows_for_batch: int = 100,
+    min_cols_for_batch: int = 100,
+) -> Bicluster:
+    """Find one delta-bicluster starting from the whole matrix."""
+    n_rows, n_cols = values.shape
+    rows = np.arange(n_rows, dtype=np.intp)
+    cols = np.arange(n_cols, dtype=np.intp)
+    rows, cols = multiple_node_deletion(
+        values, rows, cols, delta, threshold,
+        min_rows_for_batch, min_cols_for_batch,
+    )
+    rows, cols = single_node_deletion(values, rows, cols, delta)
+    rows, cols = node_addition(values, rows, cols, include_inverted_rows)
+    score = msr(values[np.ix_(rows, cols)])
+    return Bicluster(tuple(int(r) for r in rows), tuple(int(c) for c in cols), score)
+
+
+def find_biclusters(
+    matrix: Union[DataMatrix, np.ndarray],
+    n_biclusters: int,
+    delta: float,
+    *,
+    threshold: float = 1.2,
+    include_inverted_rows: bool = False,
+    mask_range: Optional[Tuple[float, float]] = None,
+    rng: Union[None, int, np.random.Generator] = None,
+    min_rows_for_batch: int = 100,
+    min_cols_for_batch: int = 100,
+) -> ChengChurchResult:
+    """The full Cheng & Church loop: find, mask with random data, repeat.
+
+    Parameters
+    ----------
+    matrix:
+        Input matrix; missing values should be filled first (see
+        :func:`fill_missing_with_random`) since the masking step cannot
+        distinguish missing from masked.
+    n_biclusters:
+        How many biclusters to report (the paper's comparison uses 100).
+    delta:
+        The mean-squared-residue ceiling.
+    mask_range:
+        Range of the uniform random values that overwrite each discovered
+        bicluster; defaults to the matrix's own (min, max).
+    """
+    if n_biclusters < 1:
+        raise ValueError(f"n_biclusters must be >= 1, got {n_biclusters}")
+    if delta < 0:
+        raise ValueError(f"delta must be >= 0, got {delta}")
+    values = (
+        matrix.values if isinstance(matrix, DataMatrix) else np.asarray(matrix)
+    ).astype(np.float64, copy=True)
+    generator = (
+        rng
+        if isinstance(rng, np.random.Generator)
+        else np.random.default_rng(rng)
+    )
+    specified = values[~np.isnan(values)]
+    if specified.size == 0:
+        raise ValueError("matrix has no specified entries")
+    if mask_range is None:
+        mask_range = (float(specified.min()), float(specified.max()))
+
+    started = time.perf_counter()
+    found: List[Bicluster] = []
+    for _ in range(n_biclusters):
+        bicluster = find_bicluster(
+            values, delta, threshold, include_inverted_rows,
+            min_rows_for_batch, min_cols_for_batch,
+        )
+        found.append(bicluster)
+        # Mask the discovered cells with random noise -- the step the
+        # delta-clusters paper blames for degraded later biclusters.
+        block_shape = (bicluster.n_rows, bicluster.n_cols)
+        noise = generator.uniform(mask_range[0], mask_range[1], size=block_shape)
+        values[np.ix_(bicluster.rows, bicluster.cols)] = noise
+    elapsed = time.perf_counter() - started
+    return ChengChurchResult(biclusters=found, elapsed_seconds=elapsed)
+
+
+def fill_missing_with_random(
+    matrix: Union[DataMatrix, np.ndarray],
+    rng: Union[None, int, np.random.Generator] = None,
+    fill_range: Optional[Tuple[float, float]] = None,
+) -> DataMatrix:
+    """Replace missing entries with uniform random values.
+
+    This is Cheng & Church's own preprocessing for incomplete data -- and
+    the behaviour the delta-cluster model makes unnecessary (it handles
+    missing values natively via the occupancy threshold).
+    """
+    values = (
+        matrix.values if isinstance(matrix, DataMatrix) else np.asarray(matrix)
+    ).astype(np.float64, copy=True)
+    missing = np.isnan(values)
+    if missing.any():
+        generator = (
+            rng
+            if isinstance(rng, np.random.Generator)
+            else np.random.default_rng(rng)
+        )
+        specified = values[~missing]
+        if fill_range is None:
+            if specified.size == 0:
+                raise ValueError("matrix has no specified entries to infer a range")
+            fill_range = (float(specified.min()), float(specified.max()))
+        values[missing] = generator.uniform(
+            fill_range[0], fill_range[1], size=int(missing.sum())
+        )
+    return DataMatrix(values)

@@ -1,0 +1,90 @@
+"""Pearson R correlation (Section 3's motivating counter-example).
+
+The paper opens the model section by examining the Pearson R correlation
+[Shardanand & Maes 1995] as a candidate coherence measure and rejecting it:
+it is a *global* measure over all attributes, so two viewers who agree
+strongly within two genres but with opposite genre-level biases score near
+zero.  The baseline lives here so tests and examples can demonstrate that
+exact failure mode, and so a correlation-threshold clustering baseline is
+available for comparison.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Union
+
+import numpy as np
+
+from ..core.matrix import DataMatrix
+
+__all__ = ["pearson_r", "pairwise_pearson", "correlation_groups"]
+
+
+def pearson_r(first: np.ndarray, second: np.ndarray) -> float:
+    """Pearson R of two vectors over their jointly specified entries.
+
+    Implements the formula quoted in Section 1 of the paper:
+    ``sum((o1-m1)(o2-m2)) / sqrt(sum((o1-m1)^2) * sum((o2-m2)^2))``.
+    Returns 0.0 when fewer than two joint entries exist or either vector
+    is constant (zero variance) on the joint support.
+    """
+    first = np.asarray(first, dtype=np.float64)
+    second = np.asarray(second, dtype=np.float64)
+    if first.shape != second.shape:
+        raise ValueError(
+            f"vectors must have equal length, got {first.shape} vs {second.shape}"
+        )
+    joint = ~np.isnan(first) & ~np.isnan(second)
+    if joint.sum() < 2:
+        return 0.0
+    a = first[joint]
+    b = second[joint]
+    a_centered = a - a.mean()
+    b_centered = b - b.mean()
+    denom = np.sqrt(np.square(a_centered).sum() * np.square(b_centered).sum())
+    if denom == 0.0:
+        return 0.0
+    return float((a_centered * b_centered).sum() / denom)
+
+
+def pairwise_pearson(matrix: Union[DataMatrix, np.ndarray]) -> np.ndarray:
+    """Symmetric matrix of Pearson R between every pair of rows."""
+    values = matrix.values if isinstance(matrix, DataMatrix) else np.asarray(matrix)
+    n = values.shape[0]
+    out = np.eye(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            r = pearson_r(values[i], values[j])
+            out[i, j] = r
+            out[j, i] = r
+    return out
+
+
+def correlation_groups(
+    matrix: Union[DataMatrix, np.ndarray], threshold: float = 0.9
+) -> List[Tuple[int, ...]]:
+    """Greedy full-space correlation clustering of rows.
+
+    Rows join a group when their Pearson R with the group's first member
+    exceeds ``threshold``.  This is the naive global-correlation baseline
+    the delta-cluster model generalizes: it cannot see coherence confined
+    to a subset of attributes, which the tests demonstrate.
+    """
+    if not -1.0 <= threshold <= 1.0:
+        raise ValueError(f"threshold must be in [-1, 1], got {threshold}")
+    values = matrix.values if isinstance(matrix, DataMatrix) else np.asarray(matrix)
+    n = values.shape[0]
+    unassigned = list(range(n))
+    groups: List[Tuple[int, ...]] = []
+    while unassigned:
+        anchor = unassigned.pop(0)
+        members = [anchor]
+        rest = []
+        for candidate in unassigned:
+            if pearson_r(values[anchor], values[candidate]) >= threshold:
+                members.append(candidate)
+            else:
+                rest.append(candidate)
+        unassigned = rest
+        groups.append(tuple(members))
+    return groups

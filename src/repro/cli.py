@@ -1,0 +1,268 @@
+"""Command-line interface: mine, generate, evaluate, predict.
+
+Examples
+--------
+Generate a synthetic workload and mine it::
+
+    python -m repro generate synthetic --rows 300 --cols 60 \
+        --clusters 10 --cluster-rows 30 --cluster-cols 20 --noise 3 \
+        --out matrix.npz --truth-out truth.txt --seed 3
+    python -m repro mine matrix.npz --target 5.0 --k 12 --restarts 2 \
+        --out found.txt --seed 5
+    python -m repro evaluate matrix.npz found.txt --truth truth.txt
+
+Mine a ratings CSV (missing = empty cells) with the paper's MovieLens
+settings::
+
+    python -m repro mine ratings.csv --target 0.8 --alpha 0.6 --k 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .core.matrix import DataMatrix
+from .core.mining import mine_delta_clusters
+from .core.predict import predict_entry
+from .data.io import (
+    load_clusters,
+    load_matrix_csv,
+    load_matrix_npz,
+    save_clusters,
+    save_matrix_npz,
+)
+from .data.microarray import generate_yeast_like
+from .data.movielens import generate_ratings
+from .data.synthetic import generate_embedded
+from .eval.metrics import recall_precision
+from .eval.reporting import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_matrix(path: str) -> DataMatrix:
+    suffix = Path(path).suffix.lower()
+    if suffix == ".npz":
+        return load_matrix_npz(path)
+    if suffix == ".csv":
+        return load_matrix_csv(path, header=False)
+    raise SystemExit(f"unsupported matrix format: {path} (use .npz or .csv)")
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_mine(args: argparse.Namespace) -> int:
+    matrix = _load_matrix(args.matrix)
+    result = mine_delta_clusters(
+        matrix,
+        residue_target=args.target,
+        k=args.k,
+        n_restarts=args.restarts,
+        max_clusters=args.max_clusters,
+        min_rows=args.min_rows,
+        min_cols=args.min_cols,
+        alpha=args.alpha,
+        p=args.p,
+        reseed_rounds=args.reseed_rounds,
+        rng=args.seed,
+    )
+    rows = [
+        [
+            index,
+            cluster.n_rows,
+            cluster.n_cols,
+            cluster.volume(matrix),
+            cluster.residue(matrix),
+        ]
+        for index, cluster in enumerate(result.clustering)
+    ]
+    print(format_table(
+        rows,
+        headers=["cluster", "rows", "cols", "volume", "residue"],
+        title=(
+            f"{len(result.clustering)} delta-clusters "
+            f"(target residue {args.target}, {args.restarts} restart(s), "
+            f"{result.elapsed_seconds:.1f}s)"
+        ),
+    ))
+    if args.out:
+        save_clusters(args.out, list(result.clustering))
+        print(f"clusters written to {args.out}")
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "synthetic":
+        dataset = generate_embedded(
+            args.rows, args.cols, args.clusters,
+            cluster_shape=(args.cluster_rows, args.cluster_cols),
+            noise=args.noise,
+            missing_fraction=args.missing,
+            rng=args.seed,
+        )
+        matrix, truth = dataset.matrix, dataset.embedded
+    elif args.kind == "movielens":
+        dataset = generate_ratings(
+            n_users=args.rows, n_movies=args.cols,
+            n_groups=args.clusters,
+            group_size=max(2, args.rows // (3 * max(args.clusters, 1))),
+            density=max(args.missing, 0.05),
+            rng=args.seed,
+        )
+        matrix, truth = dataset.matrix, dataset.groups
+    elif args.kind == "yeast":
+        dataset = generate_yeast_like(
+            n_genes=args.rows, n_conditions=args.cols,
+            n_modules=args.clusters,
+            module_shape=(args.cluster_rows, args.cluster_cols),
+            noise=args.noise,
+            missing_fraction=args.missing,
+            rng=args.seed,
+        )
+        matrix, truth = dataset.matrix, dataset.modules
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown generator {args.kind}")
+    save_matrix_npz(args.out, matrix)
+    print(f"{args.kind} matrix {matrix.shape} written to {args.out} "
+          f"(density {matrix.density:.2f})")
+    if args.truth_out:
+        save_clusters(args.truth_out, truth)
+        print(f"{len(truth)} ground-truth clusters written to {args.truth_out}")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    matrix = _load_matrix(args.matrix)
+    clusters = load_clusters(args.clusters)
+    rows = [
+        [
+            index,
+            cluster.n_rows,
+            cluster.n_cols,
+            cluster.volume(matrix),
+            cluster.residue(matrix),
+            cluster.diameter(matrix),
+        ]
+        for index, cluster in enumerate(clusters)
+    ]
+    print(format_table(
+        rows,
+        headers=["cluster", "rows", "cols", "volume", "residue", "diameter"],
+        title=f"{len(clusters)} clusters against {args.matrix}",
+    ))
+    if args.truth:
+        truth = load_clusters(args.truth)
+        scores = recall_precision(truth, clusters, matrix.shape)
+        print(f"\nrecall    = {scores.recall:.3f}")
+        print(f"precision = {scores.precision:.3f}")
+        print(f"f1        = {scores.f1:.3f}")
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    matrix = _load_matrix(args.matrix)
+    clusters = load_clusters(args.clusters)
+    covering = [
+        c for c in clusters if c.contains(args.row, args.col)
+    ]
+    if not covering:
+        print(f"no cluster covers cell ({args.row}, {args.col})")
+        return 1
+    predictions = []
+    for cluster in covering:
+        try:
+            predictions.append(
+                predict_entry(matrix, cluster, args.row, args.col)
+            )
+        except ValueError:
+            continue
+    if not predictions:
+        print(f"covering clusters carry no data for ({args.row}, {args.col})")
+        return 1
+    value = float(np.mean(predictions))
+    print(f"predicted d[{args.row}, {args.col}] = {value:.4f} "
+          f"(from {len(predictions)} cluster(s))")
+    if matrix.mask[args.row, args.col]:
+        truth = float(matrix.values[args.row, args.col])
+        print(f"actual value: {truth:.4f} (abs error {abs(value - truth):.4f})")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="delta-Clusters / FLOC (Yang et al., ICDE 2002)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    mine = sub.add_parser("mine", help="mine delta-clusters from a matrix")
+    mine.add_argument("matrix", help=".npz or .csv matrix (empty cell = missing)")
+    mine.add_argument("--target", type=float, required=True,
+                      help="residue target r (r-residue delta-clusters)")
+    mine.add_argument("--k", type=int, default=10)
+    mine.add_argument("--restarts", type=int, default=2)
+    mine.add_argument("--max-clusters", type=int, default=None)
+    mine.add_argument("--min-rows", type=int, default=3)
+    mine.add_argument("--min-cols", type=int, default=3)
+    mine.add_argument("--alpha", type=float, default=0.0,
+                      help="occupancy threshold (Definition 3.1)")
+    mine.add_argument("--p", type=float, default=0.2,
+                      help="Phase-1 seed inclusion probability")
+    mine.add_argument("--reseed-rounds", type=int, default=10)
+    mine.add_argument("--seed", type=int, default=None)
+    mine.add_argument("--out", default=None, help="write clusters here")
+    mine.set_defaults(func=cmd_mine)
+
+    generate = sub.add_parser("generate", help="generate a workload")
+    generate.add_argument("kind", choices=("synthetic", "movielens", "yeast"))
+    generate.add_argument("--rows", type=int, default=300)
+    generate.add_argument("--cols", type=int, default=60)
+    generate.add_argument("--clusters", type=int, default=10)
+    generate.add_argument("--cluster-rows", type=int, default=30)
+    generate.add_argument("--cluster-cols", type=int, default=20)
+    generate.add_argument("--noise", type=float, default=3.0)
+    generate.add_argument("--missing", type=float, default=0.0,
+                          help="missing fraction (synthetic/yeast) or "
+                               "density (movielens)")
+    generate.add_argument("--seed", type=int, default=None)
+    generate.add_argument("--out", required=True, help="output .npz")
+    generate.add_argument("--truth-out", default=None,
+                          help="write ground-truth clusters here")
+    generate.set_defaults(func=cmd_generate)
+
+    evaluate = sub.add_parser("evaluate", help="score clusters on a matrix")
+    evaluate.add_argument("matrix")
+    evaluate.add_argument("clusters", help="cluster file from 'mine'")
+    evaluate.add_argument("--truth", default=None,
+                          help="ground-truth cluster file for recall/precision")
+    evaluate.set_defaults(func=cmd_evaluate)
+
+    predict = sub.add_parser("predict", help="predict one cell from clusters")
+    predict.add_argument("matrix")
+    predict.add_argument("clusters")
+    predict.add_argument("--row", type=int, required=True)
+    predict.add_argument("--col", type=int, required=True)
+    predict.set_defaults(func=cmd_predict)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Core delta-cluster model and the FLOC mining algorithm."""
+
+from .actions import Action, evaluate_toggle, toggle_occupancy_ok
+from .cluster import DeltaCluster
+from .clustering import Clustering
+from .constraints import Constraints
+from .floc import FlocResult, floc
+from .matrix import DataMatrix
+from .mining import MiningResult, mine_delta_clusters
+from .ordering import (
+    action_slots,
+    fixed_order,
+    greedy_order,
+    make_order,
+    random_order,
+    weighted_order,
+)
+from .predict import impute, predict_entry, prediction_error
+from .residue import (
+    compute_bases,
+    mean_abs_residue,
+    mean_squared_residue,
+    residue_matrix,
+    submatrix_residue,
+)
+from .seeding import (
+    axis_seeds,
+    bernoulli_seeds,
+    mixed_seeds,
+    seeds_from_clusters,
+    volume_seeds,
+)
+
+__all__ = [
+    "Action",
+    "Clustering",
+    "Constraints",
+    "DataMatrix",
+    "DeltaCluster",
+    "FlocResult",
+    "MiningResult",
+    "action_slots",
+    "axis_seeds",
+    "bernoulli_seeds",
+    "compute_bases",
+    "evaluate_toggle",
+    "fixed_order",
+    "floc",
+    "greedy_order",
+    "impute",
+    "make_order",
+    "mine_delta_clusters",
+    "predict_entry",
+    "prediction_error",
+    "mean_abs_residue",
+    "mean_squared_residue",
+    "mixed_seeds",
+    "random_order",
+    "residue_matrix",
+    "seeds_from_clusters",
+    "submatrix_residue",
+    "toggle_occupancy_ok",
+    "volume_seeds",
+    "weighted_order",
+]

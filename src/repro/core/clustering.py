@@ -1,0 +1,146 @@
+"""A clustering: an ordered collection of delta-clusters over one matrix.
+
+FLOC optimizes the *average residue* across the ``k`` clusters it maintains
+(Section 4.1, footnote 5 of the paper).  :class:`Clustering` bundles the
+clusters with the matrix they were mined from and exposes the aggregate
+statistics the paper reports: average residue, total volume, coverage, and
+per-cluster summaries (Table 1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+import numpy as np
+
+from .cluster import DeltaCluster
+from .matrix import DataMatrix
+
+__all__ = ["Clustering"]
+
+
+class Clustering:
+    """An immutable set of delta-clusters tied to the matrix they describe."""
+
+    def __init__(self, matrix: DataMatrix, clusters: Iterable[DeltaCluster]) -> None:
+        self._matrix = matrix
+        self._clusters: Tuple[DeltaCluster, ...] = tuple(clusters)
+        for cluster in self._clusters:
+            cluster._check(matrix)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._clusters)
+
+    def __iter__(self) -> Iterator[DeltaCluster]:
+        return iter(self._clusters)
+
+    def __getitem__(self, index: int) -> DeltaCluster:
+        return self._clusters[index]
+
+    @property
+    def matrix(self) -> DataMatrix:
+        return self._matrix
+
+    @property
+    def clusters(self) -> Tuple[DeltaCluster, ...]:
+        return self._clusters
+
+    # ------------------------------------------------------------------
+    # Aggregate statistics
+    # ------------------------------------------------------------------
+    def residues(self) -> List[float]:
+        """Residue of each cluster, in order."""
+        return [c.residue(self._matrix) for c in self._clusters]
+
+    def average_residue(self) -> float:
+        """The FLOC objective: arithmetic mean of the cluster residues.
+
+        An empty clustering has average residue 0.
+        """
+        if not self._clusters:
+            return 0.0
+        return float(np.mean(self.residues()))
+
+    def total_volume(self) -> int:
+        """Sum of cluster volumes (the "aggregated volume" of Sec. 6.1.2)."""
+        return sum(c.volume(self._matrix) for c in self._clusters)
+
+    def coverage_matrix(self) -> np.ndarray:
+        """Boolean ``M x N`` array: cell covered by at least one cluster."""
+        covered = np.zeros(self._matrix.shape, dtype=bool)
+        for cluster in self._clusters:
+            if not cluster.is_empty:
+                covered[np.ix_(cluster.rows, cluster.cols)] = True
+        return covered
+
+    def covered_rows(self) -> frozenset:
+        """Set of row indices that belong to at least one cluster."""
+        out: set = set()
+        for cluster in self._clusters:
+            out.update(cluster.rows)
+        return frozenset(out)
+
+    def covered_cols(self) -> frozenset:
+        """Set of column indices that belong to at least one cluster."""
+        out: set = set()
+        for cluster in self._clusters:
+            out.update(cluster.cols)
+        return frozenset(out)
+
+    def row_coverage(self) -> float:
+        """Fraction of objects covered by some cluster (the Cons_c metric)."""
+        return len(self.covered_rows()) / self._matrix.n_rows
+
+    def col_coverage(self) -> float:
+        """Fraction of attributes covered by some cluster."""
+        return len(self.covered_cols()) / self._matrix.n_cols
+
+    def max_pairwise_overlap(self) -> float:
+        """Largest overlap fraction between any pair of clusters (Cons_o)."""
+        best = 0.0
+        for i, first in enumerate(self._clusters):
+            for second in self._clusters[i + 1:]:
+                best = max(best, first.overlap_fraction(second))
+        return best
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def summary(self) -> List[Dict[str, float]]:
+        """Per-cluster statistics matching Table 1 of the paper.
+
+        Keys: ``volume``, ``n_rows`` (viewers/genes), ``n_cols``
+        (movies/conditions), ``residue``, ``diameter``.
+        """
+        rows = []
+        for cluster in self._clusters:
+            rows.append(
+                {
+                    "volume": cluster.volume(self._matrix),
+                    "n_rows": cluster.n_rows,
+                    "n_cols": cluster.n_cols,
+                    "residue": cluster.residue(self._matrix),
+                    "diameter": cluster.diameter(self._matrix),
+                }
+            )
+        return rows
+
+    def drop_empty(self) -> "Clustering":
+        """Return a clustering without empty clusters."""
+        return Clustering(
+            self._matrix, (c for c in self._clusters if not c.is_empty)
+        )
+
+    def sorted_by_residue(self) -> "Clustering":
+        """Return a clustering with clusters ordered best (lowest) first."""
+        ordered = sorted(self._clusters, key=lambda c: c.residue(self._matrix))
+        return Clustering(self._matrix, ordered)
+
+    def __repr__(self) -> str:
+        return (
+            f"Clustering(k={len(self._clusters)}, "
+            f"avg_residue={self.average_residue():.4f})"
+        )

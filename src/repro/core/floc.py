@@ -1,0 +1,1040 @@
+"""FLOC: FLexible Overlapped Clustering (Sections 4-5 of the paper).
+
+FLOC approximates the ``k`` delta-clusters with the lowest average residue
+by move-based local search:
+
+Phase 1
+    Generate ``k`` random seed clusters (each row/column joins a seed with
+    probability ``p``; optionally a different ``p`` per seed, or seeds with
+    prescribed volumes).
+
+Phase 2
+    Iterate.  Every row and every column performs its best *action* -- the
+    membership toggle ``Action(x, c)`` with the largest gain among the
+    ``k`` clusters -- in an order produced by the ``fixed`` / ``random`` /
+    ``weighted`` scheduler (or the ``greedy`` extension).  The score is
+    recorded after every action, and the best intermediate clustering of
+    the iteration becomes the starting point of the next one.  The search
+    stops when an iteration fails to improve on the best clustering seen
+    so far (optionally followed by reseed rounds that retry dead seeds).
+
+Behavioural switches (all documented in :func:`floc` and ablated in the
+benchmarks): ``residue_target`` selects the r-residue objective instead
+of the degenerate bare average residue; ``mandatory_moves`` restores the
+paper's perform-even-negative rule; ``reseed_rounds`` enables restarts.
+
+Two gain-evaluation modes are provided:
+
+``exact`` (default)
+    Re-evaluate the candidate submatrix residue from scratch per action
+    candidate -- the O(n*m) computation the paper describes in Section 4.1.
+``fast``
+    An O(m) (resp. O(n)) approximation that freezes the cluster's bases
+    while estimating the residue contribution of the toggled row/column,
+    evaluated for all k clusters in one vectorized pass
+    (:meth:`_State.candidate_parts_batch`); the acted cluster's exact
+    residue is recomputed once per *performed* action so the objective is
+    always tracked exactly.  This trades a little per-move greediness
+    accuracy for a large speedup and is benchmarked as an ablation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .actions import BLOCKED_GAIN, ROW, evaluate_toggle, toggle_occupancy_ok
+from .cluster import DeltaCluster
+from .clustering import Clustering
+from .constraints import Constraints
+from .matrix import DataMatrix
+from .ordering import ORDERINGS, action_slots, make_order
+from .seeding import Seed, bernoulli_seeds, mixed_seeds
+
+__all__ = ["FlocResult", "floc", "GAIN_MODES"]
+
+GAIN_MODES = ("exact", "fast")
+
+_PerformedAction = Tuple[str, int, int]  # (kind, index, cluster)
+
+
+@dataclass
+class FlocResult:
+    """Outcome of a FLOC run.
+
+    Attributes
+    ----------
+    clustering:
+        The best clustering found (``best_clustering`` in the paper).
+    n_iterations:
+        Number of Phase-2 iterations executed, including the final
+        non-improving one that triggers termination.
+    initial_residue:
+        Average residue of the Phase-1 seed clustering.
+    history:
+        Average residue of ``best_clustering`` after each iteration
+        (non-increasing; the last entry repeats when the final iteration
+        brought no improvement).
+    elapsed_seconds:
+        Wall-clock time of the whole run.
+    converged:
+        ``True`` when the run stopped because an iteration failed to
+        improve (as opposed to hitting ``max_iterations``).
+    n_actions:
+        Total number of actions performed across all iterations.
+    """
+
+    clustering: Clustering
+    n_iterations: int
+    initial_residue: float
+    history: List[float] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    converged: bool = True
+    n_actions: int = 0
+
+    @property
+    def average_residue(self) -> float:
+        return self.clustering.average_residue()
+
+
+class _State:
+    """Mutable FLOC state: membership vectors plus per-cluster statistics.
+
+    ``row_member`` is ``k x M`` boolean, ``col_member`` is ``k x N``.
+    ``residues`` and ``volumes`` always reflect the current membership
+    exactly.  When ``fast`` gain evaluation is active the state also keeps,
+    per cluster ``c``:
+
+    * ``row_sums[c, i]`` / ``row_counts[c, i]`` -- sum / count of the
+      specified entries of row ``i`` over *c's member columns*, for every
+      row of the matrix (so evaluating any row toggle is O(1) for the row
+      base), and
+    * ``col_sums[c, j]`` / ``col_counts[c, j]`` -- the symmetric statistics
+      over *c's member rows* for every column.
+
+    Row toggles leave ``row_sums`` invariant and update ``col_sums`` in
+    O(N); column toggles do the reverse in O(M).
+    """
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        mask: np.ndarray,
+        seeds: Sequence[Seed],
+        fast: bool,
+    ) -> None:
+        self.values = values
+        self.mask = mask
+        self.filled = np.where(mask, values, 0.0)
+        self.k = len(seeds)
+        self.row_member = np.array([seed[0] for seed in seeds], dtype=bool)
+        self.col_member = np.array([seed[1] for seed in seeds], dtype=bool)
+        self.residues = np.zeros(self.k)
+        self.volumes = np.zeros(self.k, dtype=np.int64)
+        self.fast = fast
+        if fast:
+            n_rows, n_cols = values.shape
+            self.row_sums = np.zeros((self.k, n_rows))
+            self.row_counts = np.zeros((self.k, n_rows), dtype=np.int64)
+            self.col_sums = np.zeros((self.k, n_cols))
+            self.col_counts = np.zeros((self.k, n_cols), dtype=np.int64)
+        for c in range(self.k):
+            self.refresh_cluster(c)
+
+    # -- bookkeeping ---------------------------------------------------
+    def refresh_cluster(self, c: int) -> None:
+        """Recompute cluster ``c``'s exact statistics (and fast caches)."""
+        rows = np.flatnonzero(self.row_member[c])
+        cols = np.flatnonzero(self.col_member[c])
+        if rows.size == 0 or cols.size == 0:
+            self.residues[c] = 0.0
+            self.volumes[c] = 0
+        else:
+            sub = self.values[np.ix_(rows, cols)]
+            sub_mask = ~np.isnan(sub)
+            self.volumes[c] = int(sub_mask.sum())
+            self.residues[c] = _masked_mean_abs_residue(sub, sub_mask)
+        if self.fast:
+            self.row_sums[c] = self.filled[:, cols].sum(axis=1)
+            self.row_counts[c] = self.mask[:, cols].sum(axis=1)
+            self.col_sums[c] = self.filled[rows, :].sum(axis=0)
+            self.col_counts[c] = self.mask[rows, :].sum(axis=0)
+
+    def toggle(self, kind: str, index: int, c: int) -> None:
+        """Flip one membership bit and update the fast caches incrementally."""
+        if kind == ROW:
+            joining = not self.row_member[c, index]
+            self.row_member[c, index] = joining
+            if self.fast:
+                sign = 1.0 if joining else -1.0
+                self.col_sums[c] += sign * self.filled[index]
+                self.col_counts[c] += (1 if joining else -1) * self.mask[index]
+        else:
+            joining = not self.col_member[c, index]
+            self.col_member[c, index] = joining
+            if self.fast:
+                sign = 1.0 if joining else -1.0
+                self.row_sums[c] += sign * self.filled[:, index]
+                self.row_counts[c] += (1 if joining else -1) * self.mask[:, index]
+
+    def snapshot(self) -> dict:
+        state = {
+            "row_member": self.row_member.copy(),
+            "col_member": self.col_member.copy(),
+            "residues": self.residues.copy(),
+            "volumes": self.volumes.copy(),
+        }
+        if self.fast:
+            state["row_sums"] = self.row_sums.copy()
+            state["row_counts"] = self.row_counts.copy()
+            state["col_sums"] = self.col_sums.copy()
+            state["col_counts"] = self.col_counts.copy()
+        return state
+
+    def restore(self, state: dict) -> None:
+        self.row_member[...] = state["row_member"]
+        self.col_member[...] = state["col_member"]
+        self.residues[...] = state["residues"]
+        self.volumes[...] = state["volumes"]
+        if self.fast:
+            self.row_sums[...] = state["row_sums"]
+            self.row_counts[...] = state["row_counts"]
+            self.col_sums[...] = state["col_sums"]
+            self.col_counts[...] = state["col_counts"]
+
+    # -- gain evaluation -----------------------------------------------
+    def exact_candidate(self, kind: str, index: int, c: int) -> Tuple[float, int]:
+        return evaluate_toggle(
+            self.values, self.row_member[c], self.col_member[c], kind, index
+        )
+
+    def line_residue(self, kind: str, index: int, c: int) -> float:
+        """Mean |residual| of one row/column against cluster ``c``'s bases.
+
+        Measures how well the line fits the cluster's current shifting
+        pattern -- the admission test of r-residue mode (a line worse than
+        the target may not join, however little it would dilute the mean).
+        Returns 0.0 for a line with no specified entries on the cluster.
+        """
+        _, _, line_res = self._candidate_parts(kind, index, c)
+        return line_res
+
+    def fast_candidate(self, kind: str, index: int, c: int) -> Tuple[float, int]:
+        """O(m) / O(n) residue estimate after toggling ``index`` in ``c``.
+
+        Freezes the cluster's bases and folds the toggled line's residue
+        contribution in (addition) or out (removal) of the volume-weighted
+        mean.
+        """
+        new_residue, new_volume, _ = self._candidate_parts(kind, index, c)
+        return new_residue, new_volume
+
+    def candidate_parts_batch(
+        self, kind: str, index: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized :meth:`_candidate_parts` across ALL k clusters.
+
+        One (k x N) / (k x M) pass instead of k separate O(m) calls --
+        the hot path of fast-mode FLOC, where per-call numpy overhead
+        would otherwise dominate.  Returns ``(new_residues, new_volumes,
+        line_residues, line_counts, widths)`` arrays of length k; the
+        first three are numerically identical to the per-cluster path,
+        ``line_counts`` is the number of specified entries the toggled
+        line has on each cluster, and ``widths`` the cluster's extent
+        along the toggled line (member column count for a row toggle) --
+        exposed for missingness-aware admission experiments (see
+        :func:`_gain`'s docstring for the rejected variant).
+        """
+        if kind == ROW:
+            member = self.col_member                     # (k, N)
+            line_values = self.values[index]             # (N,)
+            line_mask = self.mask[index]
+            base_sums = self.col_sums                    # (k, N)
+            base_counts = self.col_counts
+            line_sums = self.row_sums[:, index]          # (k,)
+            line_counts = self.row_counts[:, index]
+            removing = self.row_member[:, index]
+        else:
+            member = self.row_member                     # (k, M)
+            line_values = self.values[:, index]
+            line_mask = self.mask[:, index]
+            base_sums = self.row_sums
+            base_counts = self.row_counts
+            line_sums = self.col_sums[:, index]
+            line_counts = self.col_counts[:, index]
+            removing = self.col_member[:, index]
+
+        volumes = self.volumes.astype(np.float64)
+        residues = self.residues
+        line_counts_f = line_counts.astype(np.float64)
+
+        with np.errstate(invalid="ignore", divide="ignore"):
+            line_base = line_sums / np.maximum(line_counts_f, 1.0)
+            cross_base = np.where(
+                base_counts > 0,
+                base_sums / np.maximum(base_counts, 1),
+                0.0,
+            )
+        totals = (base_sums * member).sum(axis=1)
+        counts = (base_counts * member).sum(axis=1)
+        grand = np.where(counts > 0, totals / np.maximum(counts, 1), 0.0)
+
+        filled_line = np.where(line_mask, line_values, 0.0)
+        deviations = np.abs(
+            filled_line[None, :]
+            - line_base[:, None]
+            - cross_base
+            + grand[:, None]
+        )
+        relevant = member & line_mask[None, :]
+        line_residues = np.where(relevant, deviations, 0.0).sum(axis=1)
+        line_residues = np.where(
+            line_counts > 0, line_residues / np.maximum(line_counts_f, 1.0), 0.0
+        )
+
+        add_volumes = volumes + line_counts_f
+        remove_volumes = volumes - line_counts_f
+        with np.errstate(invalid="ignore", divide="ignore"):
+            add_residues = (
+                volumes * residues + line_counts_f * line_residues
+            ) / np.maximum(add_volumes, 1.0)
+            remove_residues = np.maximum(
+                (volumes * residues - line_counts_f * line_residues)
+                / np.maximum(remove_volumes, 1.0),
+                0.0,
+            )
+        new_volumes = np.where(removing, remove_volumes, add_volumes)
+        new_residues = np.where(removing, remove_residues, add_residues)
+
+        # Toggling a fully-missing line never changes anything.
+        untouched = line_counts == 0
+        new_volumes = np.where(untouched, volumes, new_volumes)
+        new_residues = np.where(untouched, residues, new_residues)
+        # Removing the whole volume empties the cluster.
+        emptied = removing & ~untouched & (remove_volumes <= 0)
+        new_volumes = np.where(emptied, 0.0, new_volumes)
+        new_residues = np.where(emptied, 0.0, new_residues)
+        line_residues = np.where(untouched | emptied, 0.0, line_residues)
+        widths = member.sum(axis=1)
+        return (
+            new_residues,
+            new_volumes.astype(np.int64),
+            line_residues,
+            line_counts,
+            widths,
+        )
+
+    def _candidate_parts(
+        self, kind: str, index: int, c: int
+    ) -> Tuple[float, int, float]:
+        """(new_residue, new_volume, line_residue) of one candidate toggle."""
+        volume = int(self.volumes[c])
+        residue = float(self.residues[c])
+        if kind == ROW:
+            member_axis = self.col_member[c]
+            line_values = self.values[index, member_axis]
+            base_sums = self.col_sums[c, member_axis]
+            base_counts = self.col_counts[c, member_axis]
+            line_sum = float(self.row_sums[c, index])
+            line_count = int(self.row_counts[c, index])
+            removing = bool(self.row_member[c, index])
+        else:
+            member_axis = self.row_member[c]
+            line_values = self.values[member_axis, index]
+            base_sums = self.row_sums[c, member_axis]
+            base_counts = self.row_counts[c, member_axis]
+            line_sum = float(self.col_sums[c, index])
+            line_count = int(self.col_counts[c, index])
+            removing = bool(self.col_member[c, index])
+
+        if line_count == 0:
+            # Toggling a fully-missing line never changes the residue.
+            return residue, volume, 0.0
+        if removing and volume - line_count <= 0:
+            return 0.0, 0, 0.0
+
+        line_mask = ~np.isnan(line_values)
+        line_base = line_sum / line_count
+        with np.errstate(invalid="ignore"):
+            cross_base = np.where(
+                base_counts > 0, base_sums / np.maximum(base_counts, 1), 0.0
+            )
+        total = float(base_sums.sum())
+        count = int(base_counts.sum())
+        grand = total / count if count else 0.0
+        deviations = np.abs(line_values - line_base - cross_base + grand)
+        line_residue = float(deviations[line_mask].sum()) / line_count
+        if removing:
+            new_volume = volume - line_count
+            new_residue = max(
+                (volume * residue - line_count * line_residue) / new_volume, 0.0
+            )
+        else:
+            new_volume = volume + line_count
+            new_residue = (volume * residue + line_count * line_residue) / new_volume
+        return new_residue, new_volume, line_residue
+
+
+def _masked_mean_abs_residue(sub: np.ndarray, sub_mask: np.ndarray) -> float:
+    """Mean |r_ij| given a pre-computed specified-entry mask."""
+    volume = int(sub_mask.sum())
+    if volume == 0:
+        return 0.0
+    filled = np.where(sub_mask, sub, 0.0)
+    row_counts = sub_mask.sum(axis=1)
+    col_counts = sub_mask.sum(axis=0)
+    row_base = np.where(
+        row_counts > 0, filled.sum(axis=1) / np.maximum(row_counts, 1), 0.0
+    )
+    col_base = np.where(
+        col_counts > 0, filled.sum(axis=0) / np.maximum(col_counts, 1), 0.0
+    )
+    grand = filled.sum() / volume
+    raw = sub - row_base[:, None] - col_base[None, :] + grand
+    return float(np.abs(np.where(sub_mask, raw, 0.0)).sum() / volume)
+
+
+def _resolve_rng(
+    rng: Union[None, int, np.random.Generator]
+) -> np.random.Generator:
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def _build_seeds(
+    matrix: DataMatrix,
+    k: int,
+    p: Union[float, Sequence[float]],
+    seeds: Optional[Sequence[Seed]],
+    constraints: Constraints,
+    rng: np.random.Generator,
+) -> List[Seed]:
+    if seeds is not None:
+        seeds = list(seeds)
+        if len(seeds) != k:
+            raise ValueError(f"got {len(seeds)} seeds but k={k}")
+        for row_member, col_member in seeds:
+            if row_member.shape != (matrix.n_rows,) or col_member.shape != (
+                matrix.n_cols,
+            ):
+                raise ValueError("seed membership vector shape mismatch")
+        return seeds
+    if np.isscalar(p):
+        candidates = bernoulli_seeds(
+            matrix.n_rows, matrix.n_cols, k, float(p), rng,
+            constraints.min_rows, constraints.min_cols,
+        )
+    else:
+        candidates = mixed_seeds(
+            matrix.n_rows, matrix.n_cols, k, list(p), rng,
+            constraints.min_rows, constraints.min_cols,
+        )
+    # Phase 1 must emit constraint-compliant seeds (Section 4.3); retry the
+    # cheap structural checks a bounded number of times.
+    for attempt in range(100):
+        if all(constraints.seed_ok(r, c) for r, c in candidates):
+            return candidates
+        candidates = [
+            seed
+            if constraints.seed_ok(*seed)
+            else bernoulli_seeds(
+                matrix.n_rows, matrix.n_cols, 1,
+                float(p) if np.isscalar(p) else float(list(p)[0]),
+                rng, constraints.min_rows, constraints.min_cols,
+            )[0]
+            for seed in candidates
+        ]
+    raise RuntimeError("could not generate constraint-compliant seeds")
+
+
+def floc(
+    matrix: DataMatrix,
+    k: int,
+    *,
+    p: Union[float, Sequence[float]] = 0.3,
+    alpha: float = 0.0,
+    ordering: str = "weighted",
+    gain_mode: str = "exact",
+    residue_target: Optional[float] = None,
+    mandatory_moves: bool = False,
+    reseed_rounds: int = 0,
+    constraints: Optional[Constraints] = None,
+    seeds: Optional[Sequence[Seed]] = None,
+    rng: Union[None, int, np.random.Generator] = None,
+    max_iterations: int = 100,
+    tol: float = 1e-12,
+) -> FlocResult:
+    """Run FLOC and return the best clustering found.
+
+    Parameters
+    ----------
+    matrix:
+        The data matrix (missing entries as ``NaN``).
+    k:
+        Number of clusters to maintain.
+    p:
+        Seed inclusion probability; a sequence enables the mixed-p seeding
+        of Section 5.1 (cycled across seeds).  Ignored when ``seeds`` is
+        given.
+    alpha:
+        Occupancy threshold of Definition 3.1; actions producing a cluster
+        that violates it are blocked.  0 disables the check (dense data).
+    ordering:
+        Action order per iteration: ``"fixed"``, ``"random"`` or
+        ``"weighted"`` (Section 5.2; ``weighted`` is the paper's best),
+        plus the ``"greedy"`` descending-gain extension (see
+        :func:`repro.core.ordering.greedy_order`).
+    gain_mode:
+        ``"exact"`` or ``"fast"`` -- see the module docstring.
+    residue_target:
+        When ``None`` (the paper-literal default) the objective is the
+        average residue and an action's gain is the residue reduction it
+        causes.  When set, FLOC mines *r-residue delta-clusters* (the
+        concept of Section 3): clusters must reach residue <= target, and
+        among target-respecting candidates actions compete on **volume
+        growth** instead.  This stabilizes the search -- the bare
+        average-residue objective is degenerate (any 2x2 submatrix has
+        near-zero residue, so unconstrained greedy shrinks every cluster
+        to a sliver), which is also why the paper offers the Cons_v
+        volume constraint and reports discovered residues roughly twice
+        the embedded ones.  A good target is 1.5-3x the noise level one
+        expects inside a genuine cluster.
+    mandatory_moves:
+        The paper performs every row/column's best action even at a
+        negative gain ("such negative gain action(s) will still be
+        performed", Section 4.1), relying on the per-action snapshots to
+        discard degradations.  At reproduction scale the mandatory
+        additions of rows that fit *no* cluster flood the snapshot signal
+        (every row outside all clusters must join its least-bad one each
+        iteration), so the default skips a slot whose best gain is not
+        positive.  Pass ``True`` for the literal behaviour; the ablation
+        bench compares both.
+    reseed_rounds:
+        r-residue mode only: after Phase 2 converges, replace clusters
+        that died at the structural floor (or stayed above the target, or
+        duplicate an already-locked cluster) with fresh random seeds and
+        run Phase 2 again, up to this many extra rounds.  Locked clusters
+        are never disturbed.  0 (default) is the paper-literal single
+        Phase 2; 3-10 rounds substantially raise recall on workloads with
+        many embedded clusters because each round gives unlucky seeds a
+        fresh draw.
+    constraints:
+        Optional :class:`~repro.core.constraints.Constraints`; the default
+        enforces only the structural 2x2 floor.
+    seeds:
+        Explicit Phase-1 seeds (e.g. from
+        :func:`~repro.core.seeding.volume_seeds`); must have length ``k``.
+    rng:
+        ``None`` (fresh entropy), an ``int`` seed, or a ``Generator``.
+    max_iterations:
+        Safety cap on Phase-2 iterations.
+    tol:
+        Minimum average-residue improvement an iteration must achieve to
+        continue.
+
+    Returns
+    -------
+    FlocResult
+    """
+    if not isinstance(matrix, DataMatrix):
+        matrix = DataMatrix(matrix)
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if ordering not in ORDERINGS:
+        raise ValueError(f"ordering must be one of {ORDERINGS}, got {ordering!r}")
+    if gain_mode not in GAIN_MODES:
+        raise ValueError(f"gain_mode must be one of {GAIN_MODES}, got {gain_mode!r}")
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+    if max_iterations < 1:
+        raise ValueError(f"max_iterations must be >= 1, got {max_iterations}")
+    generator = _resolve_rng(rng)
+    active = constraints if constraints is not None else Constraints()
+
+    started = time.perf_counter()
+    seed_list = _build_seeds(matrix, k, p, seeds, active, generator)
+    if alpha > 0.0:
+        seed_list = [
+            _trim_seed_to_alpha(
+                row_member, col_member, matrix.mask, alpha,
+                active.min_rows, active.min_cols,
+            )
+            for row_member, col_member in seed_list
+        ]
+    # The fast caches are also what powers the weighted ordering's gain
+    # estimates, so they are maintained whenever either needs them.
+    need_fast = (
+        gain_mode == "fast"
+        or ordering in ("weighted", "greedy")
+        or residue_target is not None
+    )
+    state = _State(matrix.values, matrix.mask, seed_list, fast=need_fast)
+    initial_residue = float(state.residues.mean())
+
+    history: List[float] = []
+    n_actions = 0
+    n_iterations = 0
+    converged = False
+    rounds = reseed_rounds + 1 if residue_target is not None else 1
+    for round_index in range(rounds):
+        iters, acts, round_history, round_converged = _phase2(
+            state, matrix, ordering, gain_mode, alpha, active,
+            residue_target, mandatory_moves, generator,
+            max_iterations, tol,
+        )
+        n_iterations += iters
+        n_actions += acts
+        history.extend(round_history)
+        converged = round_converged
+        if round_index == rounds - 1:
+            break
+        if not _reseed_dead_slots(state, p, active, generator, residue_target):
+            break
+
+    # Materialize best_clustering.
+    clusters = []
+    for c in range(k):
+        rows = np.flatnonzero(state.row_member[c])
+        cols = np.flatnonzero(state.col_member[c])
+        clusters.append(DeltaCluster(rows, cols))
+    clustering = Clustering(matrix, clusters)
+    elapsed = time.perf_counter() - started
+    return FlocResult(
+        clustering=clustering,
+        n_iterations=n_iterations,
+        initial_residue=initial_residue,
+        history=history,
+        elapsed_seconds=elapsed,
+        converged=converged,
+        n_actions=n_actions,
+    )
+
+
+def _phase2(
+    state: _State,
+    matrix: DataMatrix,
+    ordering: str,
+    gain_mode: str,
+    alpha: float,
+    active: Constraints,
+    residue_target: Optional[float],
+    mandatory_moves: bool,
+    generator: np.random.Generator,
+    max_iterations: int,
+    tol: float,
+) -> Tuple[int, int, List[float], bool]:
+    """Run Phase-2 iterations until convergence; leave ``state`` at the
+    best clustering found.  Returns (iterations, actions, history,
+    converged)."""
+    best_score = _score(state, residue_target)
+    best_state = state.snapshot()
+    slots = action_slots(matrix.n_rows, matrix.n_cols)
+    history: List[float] = []
+    n_actions = 0
+    n_iterations = 0
+    converged = False
+
+    for _ in range(max_iterations):
+        n_iterations += 1
+        iteration_start = state.snapshot()
+        order = _ordered_slots(
+            state, slots, ordering, alpha, active, generator, residue_target
+        )
+        performed: List[_PerformedAction] = []
+        iter_best = np.inf
+        iter_best_idx = -1
+        for kind, index in order:
+            choice = _best_action(
+                state, kind, index, alpha, active, gain_mode, residue_target
+            )
+            if choice is None:
+                continue
+            c, new_residue, new_volume, gain = choice
+            if not mandatory_moves and gain <= 0.0:
+                continue
+            state.toggle(kind, index, c)
+            if gain_mode == "fast":
+                # The estimate guided the choice; the ledger stays exact.
+                state.refresh_cluster(c)
+            else:
+                state.residues[c] = new_residue
+                state.volumes[c] = new_volume
+                if state.fast:
+                    state.refresh_cluster(c)
+            performed.append((kind, index, c))
+            score = _score(state, residue_target)
+            if score < iter_best:
+                iter_best = score
+                iter_best_idx = len(performed) - 1
+        n_actions += len(performed)
+
+        if iter_best < best_score - tol:
+            best_score = iter_best
+            state.restore(iteration_start)
+            for kind, index, c in performed[: iter_best_idx + 1]:
+                state.toggle(kind, index, c)
+            touched = {c for _, _, c in performed[: iter_best_idx + 1]}
+            for c in touched:
+                state.refresh_cluster(c)
+            best_state = state.snapshot()
+            history.append(float(state.residues.mean()))
+        else:
+            state.restore(best_state)
+            history.append(
+                history[-1] if history else float(state.residues.mean())
+            )
+            converged = True
+            break
+    if not converged:
+        state.restore(best_state)
+    return n_iterations, n_actions, history, converged
+
+
+def _reseed_dead_slots(
+    state: _State,
+    p: Union[float, Sequence[float]],
+    active: Constraints,
+    generator: np.random.Generator,
+    residue_target: Optional[float],
+) -> bool:
+    """Replace dead or duplicate clusters with fresh random seeds.
+
+    A slot is *dead* when it sits at (or near) the structural floor --
+    the search cannot recover it because nothing fits its junk core -- or
+    when its residue still exceeds the target.  Of two locked clusters
+    covering nearly the same cells, the smaller is reseeded too.  Returns
+    ``True`` when at least one slot was reseeded.
+    """
+    n_rows = state.row_member.shape[1]
+    n_cols = state.col_member.shape[1]
+    floor_rows = active.min_rows + 1
+    floor_cols = active.min_cols + 1
+    dead = []
+    locked = []
+    for c in range(state.k):
+        rows = int(state.row_member[c].sum())
+        cols = int(state.col_member[c].sum())
+        at_floor = rows <= floor_rows and cols <= floor_cols
+        infeasible = (
+            residue_target is not None and state.residues[c] > residue_target
+        )
+        if at_floor or infeasible:
+            dead.append(c)
+        else:
+            locked.append(c)
+
+    # Deduplicate locked clusters that converged onto the same submatrix.
+    for i, first in enumerate(locked):
+        for second in locked[i + 1:]:
+            if second in dead:
+                continue
+            shared_rows = int(
+                (state.row_member[first] & state.row_member[second]).sum()
+            )
+            shared_cols = int(
+                (state.col_member[first] & state.col_member[second]).sum()
+            )
+            cells_first = int(state.row_member[first].sum()) * int(
+                state.col_member[first].sum()
+            )
+            cells_second = int(state.row_member[second].sum()) * int(
+                state.col_member[second].sum()
+            )
+            smaller = min(cells_first, cells_second)
+            if smaller and shared_rows * shared_cols / smaller > 0.8:
+                victim = first if cells_first < cells_second else second
+                if victim not in dead:
+                    dead.append(victim)
+
+    if not dead:
+        return False
+    p_value = float(p) if np.isscalar(p) else float(list(p)[0])
+    fresh = bernoulli_seeds(
+        n_rows, n_cols, len(dead), p_value, generator,
+        active.min_rows, active.min_cols,
+    )
+    for c, (row_member, col_member) in zip(dead, fresh):
+        state.row_member[c] = row_member
+        state.col_member[c] = col_member
+        state.refresh_cluster(c)
+    return True
+
+
+def _trim_seed_to_alpha(
+    row_member: np.ndarray,
+    col_member: np.ndarray,
+    mask: np.ndarray,
+    alpha: float,
+    min_rows: int,
+    min_cols: int,
+) -> Seed:
+    """Shrink a random seed until it satisfies the alpha occupancy rule.
+
+    Iteratively removes the sparsest offending row or column.  Phase 1
+    must emit constraint-compliant seeds (Section 4.3); combined with the
+    no-new-violations action blocking this keeps every clustering FLOC
+    ever holds alpha-valid.  If trimming hits the structural floor before
+    reaching validity, the seed is returned as-is (the blocking rule then
+    lets it keep moving until it heals).
+    """
+    row_member = row_member.copy()
+    col_member = col_member.copy()
+    while True:
+        rows = np.flatnonzero(row_member)
+        cols = np.flatnonzero(col_member)
+        if rows.size <= min_rows or cols.size <= min_cols:
+            return row_member, col_member
+        sub_mask = mask[np.ix_(rows, cols)]
+        row_frac = sub_mask.sum(axis=1) / cols.size
+        col_frac = sub_mask.sum(axis=0) / rows.size
+        worst_row = int(np.argmin(row_frac))
+        worst_col = int(np.argmin(col_frac))
+        if row_frac[worst_row] >= alpha and col_frac[worst_col] >= alpha:
+            return row_member, col_member
+        if row_frac[worst_row] <= col_frac[worst_col]:
+            row_member[rows[worst_row]] = False
+        else:
+            col_member[cols[worst_col]] = False
+
+
+def _score(state: _State, residue_target: Optional[float]) -> float:
+    """Clustering score to minimize -- the snapshot/termination criterion.
+
+    Paper-literal mode scores by average residue (footnote 5).  In
+    r-residue mode a clustering is better when it has less residue excess
+    above the target, then more total volume; the excess is weighted by
+    the matrix cell count so feasibility always dominates volume.
+    """
+    if residue_target is None:
+        return float(state.residues.mean())
+    excess = (
+        np.maximum(state.residues - residue_target, 0.0) / residue_target
+    ).sum()
+    # Any appreciable relative excess must outweigh any possible volume
+    # difference (total volume is bounded by k * matrix size).
+    weight = 1e6 * float(state.values.size)
+    return float(excess * weight - state.volumes.sum())
+
+
+def _gain(
+    old_residue: float,
+    old_volume: int,
+    new_residue: float,
+    new_volume: int,
+    residue_target: Optional[float],
+    line_residue: Optional[float] = None,
+    is_addition: bool = False,
+    line_count: Optional[int] = None,
+    width: Optional[int] = None,
+) -> float:
+    """Gain of one candidate action.
+
+    Paper-literal: the reduction of the cluster's residue.  r-residue
+    mode: actions that leave the cluster within the target compete on
+    relative volume growth (offset by +1 so any of them outranks every
+    target-violating action); the rest compete on relative residue
+    reduction, mapped into (-inf, 0].  An addition only counts as
+    target-respecting when the joining line *itself* fits the cluster's
+    pattern within the target -- without this admission test a large
+    cluster's mean dilutes one junk line at a time below the target
+    (the exact leak Cheng & Church's node addition guards against).
+
+    ``line_count`` and ``width`` are accepted (and plumbed by the batch
+    evaluator) for experimentation with missingness-aware admission; a
+    sqrt(line_count / width) discount was tried and REJECTED -- loosening
+    admission for sparse lines lets junk in faster than it rescues
+    borderline members, and measured recall dropped at every missing
+    fraction (see DESIGN.md section 4).  The plain test is used.
+    """
+    del line_count, width  # see docstring: discount rejected empirically
+    if residue_target is None:
+        return old_residue - new_residue
+    scale = max(old_residue, residue_target)
+    reduction = (old_residue - new_residue) / scale
+    fits = line_residue is None or line_residue <= residue_target
+    if is_addition and not fits:
+        # A junk line is never a real improvement, however little it
+        # dilutes a large cluster's mean.
+        return reduction - 1.0
+    if not is_addition and not fits:
+        # Evicting a line that does not fit the cluster's pattern is
+        # cleanup, even from a cluster already below the target --
+        # otherwise stragglers inside a feasible cluster deadlock it
+        # (they cannot leave, and they inflate every candidate line's
+        # residue above the admission test).
+        return 1.0 + reduction
+    if new_residue <= residue_target:
+        if old_residue > residue_target:
+            # Crossing into feasibility is the most valuable move.
+            return 2.0 + reduction
+        if is_addition:
+            # Growing a feasible cluster: the r-residue objective.
+            return 1.0 + (new_volume - old_volume) / (old_volume + 1.0)
+        # Shrinking an already-feasible cluster loses volume for nothing.
+        return (new_volume - old_volume) / (old_volume + 1.0)
+    # Still infeasible: plain cleanup progress (positive when the residue
+    # drops, negative when it rises).
+    return reduction
+
+
+def _ordered_slots(
+    state: _State,
+    slots: Sequence[Tuple[str, int]],
+    ordering: str,
+    alpha: float,
+    constraints: Constraints,
+    rng: np.random.Generator,
+    residue_target: Optional[float],
+) -> List[Tuple[str, int]]:
+    """Build this iteration's action order.
+
+    The weighted scheduler needs a gain estimate per slot *before* any
+    action is performed; the O(m) fast path supplies it regardless of the
+    gain mode used for the actual moves (it is only an ordering heuristic).
+    """
+    if ordering == "fixed":
+        return list(slots)
+    if ordering == "random":
+        return make_order("random", slots, [], rng)
+    # "weighted" and "greedy" both need per-slot gain estimates.
+    gains = []
+    for kind, index in slots:
+        batch = state.candidate_parts_batch(kind, index)
+        best_gain = BLOCKED_GAIN
+        for c in range(state.k):
+            if _blocked(state, kind, index, c, alpha, constraints, fast_check=True):
+                continue
+            if kind == ROW:
+                is_addition = not bool(state.row_member[c, index])
+            else:
+                is_addition = not bool(state.col_member[c, index])
+            gain = _gain(
+                float(state.residues[c]), int(state.volumes[c]),
+                float(batch[0][c]), int(batch[1][c]), residue_target,
+                float(batch[2][c]), is_addition,
+                int(batch[3][c]), int(batch[4][c]),
+            )
+            best_gain = max(best_gain, gain)
+        gains.append(best_gain)
+    return make_order(ordering, slots, gains, rng)
+
+
+def _blocked(
+    state: _State,
+    kind: str,
+    index: int,
+    c: int,
+    alpha: float,
+    constraints: Constraints,
+    fast_check: bool = False,
+) -> bool:
+    """Constraint + occupancy blocking for one candidate action."""
+    if kind == ROW:
+        is_removal = bool(state.row_member[c, index])
+    else:
+        is_removal = bool(state.col_member[c, index])
+    if constraints.blocks(
+        state.row_member[c], state.col_member[c], kind, index, is_removal,
+        c, state.row_member, state.col_member,
+    ):
+        return True
+    if alpha > 0.0:
+        if fast_check and state.fast and not is_removal:
+            # Cheap proxy: the joining line itself must meet alpha.
+            if kind == ROW:
+                width = int(state.col_member[c].sum())
+                specified = int(state.row_counts[c, index])
+            else:
+                width = int(state.row_member[c].sum())
+                specified = int(state.col_counts[c, index])
+            return width > 0 and specified / width < alpha
+        # Exact Definition-3.1 check of the whole candidate cluster --
+        # removals can also break occupancy (dropping a well-specified
+        # column may push a sparse row below alpha).
+        candidate_ok = toggle_occupancy_ok(
+            state.mask, state.row_member[c], state.col_member[c],
+            kind, index, alpha,
+        )
+        if candidate_ok:
+            return False
+        # A random seed may start out violating alpha; blocking every
+        # action would freeze it as junk forever, so only *new* violations
+        # are blocked -- an already-violating cluster may keep moving.
+        rows = np.flatnonzero(state.row_member[c])
+        cols = np.flatnonzero(state.col_member[c])
+        if rows.size == 0 or cols.size == 0:
+            return True
+        sub_mask = state.mask[np.ix_(rows, cols)]
+        row_frac = sub_mask.sum(axis=1) / cols.size
+        col_frac = sub_mask.sum(axis=0) / rows.size
+        current_ok = bool(
+            (row_frac >= alpha).all() and (col_frac >= alpha).all()
+        )
+        return current_ok
+    return False
+
+
+def _best_action(
+    state: _State,
+    kind: str,
+    index: int,
+    alpha: float,
+    constraints: Constraints,
+    gain_mode: str,
+    residue_target: Optional[float],
+) -> Optional[Tuple[int, float, int, float]]:
+    """Pick the highest-gain unblocked action for one row/column slot.
+
+    Returns ``(cluster, new_residue, new_volume, gain)`` or ``None`` when
+    every cluster's action is blocked.  Negative gains are eligible here
+    -- whether they are *performed* is the caller's ``mandatory_moves``
+    policy.
+    """
+    best: Optional[Tuple[int, float, int, float]] = None
+    best_gain = BLOCKED_GAIN
+    fast = gain_mode == "fast"
+    if fast:
+        batch = state.candidate_parts_batch(kind, index)
+    for c in range(state.k):
+        if _blocked(state, kind, index, c, alpha, constraints, fast_check=fast):
+            continue
+        if kind == ROW:
+            is_addition = not bool(state.row_member[c, index])
+        else:
+            is_addition = not bool(state.col_member[c, index])
+        if fast:
+            new_residue = float(batch[0][c])
+            new_volume = int(batch[1][c])
+            line_residue = float(batch[2][c])
+            line_count = int(batch[3][c])
+            width = int(batch[4][c])
+        else:
+            new_residue, new_volume = state.exact_candidate(kind, index, c)
+            if residue_target is not None:
+                # The fast caches exist whenever a target is set.
+                line_residue = state.line_residue(kind, index, c)
+                if kind == ROW:
+                    line_count = int(state.row_counts[c, index])
+                    width = int(state.col_member[c].sum())
+                else:
+                    line_count = int(state.col_counts[c, index])
+                    width = int(state.row_member[c].sum())
+            else:
+                line_residue = None
+                line_count = None
+                width = None
+        gain = _gain(
+            float(state.residues[c]), int(state.volumes[c]),
+            new_residue, new_volume, residue_target,
+            line_residue, is_addition, line_count, width,
+        )
+        if gain > best_gain:
+            best_gain = gain
+            best = (c, new_residue, new_volume, gain)
+    return best

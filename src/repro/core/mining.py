@@ -1,0 +1,158 @@
+"""High-level mining front end: restarts, pooling, deduplication.
+
+FLOC is a randomized local search; any single run can leave some planted
+structure undiscovered.  :func:`mine_delta_clusters` wraps the paper's
+algorithm in the standard practitioner loop:
+
+1. run FLOC ``n_restarts`` times with independent seeds,
+2. pool the clusters that meet the residue target (and a minimum size),
+3. deduplicate near-identical clusters across runs (keeping the larger),
+4. return the best ``max_clusters`` by volume.
+
+This is the entry point a downstream user actually wants; ``floc()``
+itself remains the faithful single-run algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+import numpy as np
+
+from .cluster import DeltaCluster
+from .clustering import Clustering
+from .constraints import Constraints
+from .floc import FlocResult, floc
+from .matrix import DataMatrix
+
+__all__ = ["MiningResult", "mine_delta_clusters"]
+
+
+@dataclass
+class MiningResult:
+    """Pooled outcome of a multi-restart mining session."""
+
+    clustering: Clustering
+    runs: List[FlocResult] = field(default_factory=list)
+    n_pooled: int = 0
+    n_deduplicated: int = 0
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return sum(run.elapsed_seconds for run in self.runs)
+
+
+def mine_delta_clusters(
+    matrix: Union[DataMatrix, np.ndarray],
+    residue_target: float,
+    *,
+    k: int = 10,
+    n_restarts: int = 3,
+    max_clusters: Optional[int] = None,
+    min_rows: int = 3,
+    min_cols: int = 3,
+    min_volume: int = 25,
+    max_overlap: float = 0.5,
+    alpha: float = 0.0,
+    p: float = 0.2,
+    reseed_rounds: int = 10,
+    ordering: str = "greedy",
+    gain_mode: str = "fast",
+    rng: Union[None, int, np.random.Generator] = None,
+) -> MiningResult:
+    """Mine r-residue delta-clusters with restarts and deduplication.
+
+    Parameters
+    ----------
+    matrix:
+        Data matrix (``NaN`` = missing).
+    residue_target:
+        The ``r`` of the r-residue delta-cluster: every returned cluster
+        has mean absolute residue at most this.
+    k, p, reseed_rounds, ordering, gain_mode, alpha:
+        Forwarded to :func:`repro.core.floc.floc` per restart.
+    n_restarts:
+        Independent FLOC runs to pool.
+    max_clusters:
+        Keep at most this many clusters (largest volume first);
+        ``None`` keeps all.
+    min_rows, min_cols, min_volume:
+        Discard clusters smaller than this (``min_volume`` counts
+        *specified* entries).
+    max_overlap:
+        Pooled clusters overlapping a kept cluster by more than this
+        fraction (of the smaller one's cells) are dropped as duplicates.
+
+    Returns
+    -------
+    MiningResult -- ``result.clustering`` holds the deduplicated
+    clusters, largest first.
+    """
+    if not isinstance(matrix, DataMatrix):
+        matrix = DataMatrix(matrix)
+    if residue_target <= 0:
+        raise ValueError(f"residue_target must be positive, got {residue_target}")
+    if n_restarts < 1:
+        raise ValueError(f"n_restarts must be >= 1, got {n_restarts}")
+    if not 0.0 <= max_overlap <= 1.0:
+        raise ValueError(f"max_overlap must be in [0, 1], got {max_overlap}")
+    generator = (
+        rng
+        if isinstance(rng, np.random.Generator)
+        else np.random.default_rng(rng)
+    )
+    constraints = Constraints(min_rows=min_rows, min_cols=min_cols)
+
+    runs: List[FlocResult] = []
+    pooled: List[DeltaCluster] = []
+    for __ in range(n_restarts):
+        result = floc(
+            matrix, k,
+            p=p,
+            alpha=alpha,
+            ordering=ordering,
+            gain_mode=gain_mode,
+            residue_target=residue_target,
+            reseed_rounds=reseed_rounds,
+            constraints=constraints,
+            rng=generator,
+        )
+        runs.append(result)
+        for cluster in result.clustering:
+            if cluster.n_rows < min_rows or cluster.n_cols < min_cols:
+                continue
+            if cluster.volume(matrix) < min_volume:
+                continue
+            if cluster.residue(matrix) > residue_target:
+                continue
+            pooled.append(cluster)
+
+    n_pooled = len(pooled)
+    kept = _deduplicate(pooled, matrix, max_overlap)
+    if max_clusters is not None:
+        kept = kept[:max_clusters]
+    return MiningResult(
+        clustering=Clustering(matrix, kept),
+        runs=runs,
+        n_pooled=n_pooled,
+        n_deduplicated=n_pooled - len(kept),
+    )
+
+
+def _deduplicate(
+    pooled: List[DeltaCluster],
+    matrix: DataMatrix,
+    max_overlap: float,
+) -> List[DeltaCluster]:
+    """Greedy dedup: biggest volume first, drop heavy overlappers."""
+    ordered = sorted(pooled, key=lambda c: -c.volume(matrix))
+    kept: List[DeltaCluster] = []
+    for candidate in ordered:
+        duplicate = any(
+            candidate.overlap_fraction(existing) > max_overlap
+            for existing in kept
+        )
+        if not duplicate:
+            kept.append(candidate)
+    return kept

@@ -1,0 +1,52 @@
+"""Workload generators, dataset substitutes and matrix IO."""
+
+from .categorical import CategoricalEncoding, encode_hybrid
+from .distributions import erlang, erlang_volumes, variance_level_to_shape
+from .io import (
+    load_clusters,
+    load_matrix_csv,
+    load_matrix_npz,
+    load_ratings_triples,
+    save_clusters,
+    save_matrix_csv,
+    save_matrix_npz,
+)
+from .microarray import (
+    FIGURE4_CONDITIONS,
+    FIGURE4_GENES,
+    FIGURE4_VALUES,
+    YeastDataset,
+    figure4_cluster,
+    figure4_matrix,
+    generate_yeast_like,
+)
+from .movielens import DEFAULT_GENRES, MovieLensDataset, generate_ratings
+from .synthetic import SyntheticDataset, generate_embedded, volumes_to_shapes
+
+__all__ = [
+    "CategoricalEncoding",
+    "DEFAULT_GENRES",
+    "FIGURE4_CONDITIONS",
+    "FIGURE4_GENES",
+    "FIGURE4_VALUES",
+    "MovieLensDataset",
+    "SyntheticDataset",
+    "YeastDataset",
+    "encode_hybrid",
+    "erlang",
+    "erlang_volumes",
+    "figure4_cluster",
+    "figure4_matrix",
+    "generate_embedded",
+    "generate_ratings",
+    "generate_yeast_like",
+    "load_clusters",
+    "load_matrix_csv",
+    "load_matrix_npz",
+    "load_ratings_triples",
+    "save_clusters",
+    "save_matrix_csv",
+    "save_matrix_npz",
+    "variance_level_to_shape",
+    "volumes_to_shapes",
+]

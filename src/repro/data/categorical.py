@@ -1,0 +1,180 @@
+"""Categorical attributes (the paper's deferred extension).
+
+Footnote 2 of the paper: "In general, the attributes can take either
+numerical or categorical values. ... The scenario of having categorical
+attributes or even hybrid attribute types is left to the full version of
+this paper."  That full version never appeared, so this module supplies
+the natural construction:
+
+* a categorical attribute with values ``{a, b, c, ...}`` becomes one
+  **indicator column per value** (one-hot), with a missing categorical
+  entry mapping to missing indicators;
+* on indicator columns, shifting coherence degenerates to *agreement*:
+  a set of objects is coherent on an indicator exactly when they all
+  chose (or all did not choose) that value, so the residue of an
+  indicator block measures categorical disagreement on a 0..1 scale;
+* hybrid matrices mix numeric columns (optionally rescaled so residues
+  are commensurate with the 0..1 indicator scale) with encoded blocks.
+
+:class:`CategoricalEncoding` keeps the bookkeeping needed to map a
+discovered delta-cluster's encoded columns back to original attributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.cluster import DeltaCluster
+from ..core.matrix import DataMatrix
+
+__all__ = ["CategoricalEncoding", "encode_hybrid"]
+
+#: Sentinel accepted as "missing" in categorical input.
+MISSING_TOKENS = (None, "", "NA", "NaN", "nan")
+
+
+@dataclass
+class CategoricalEncoding:
+    """A hybrid matrix encoded for delta-cluster mining, plus its map.
+
+    Attributes
+    ----------
+    matrix:
+        The encoded :class:`DataMatrix` (numeric columns first, then one
+        indicator column per categorical value).
+    column_of:
+        For every encoded column index, the original attribute index it
+        came from.
+    value_of:
+        For every encoded column index, the category value it indicates
+        (``None`` for numeric columns).
+    numeric_scale:
+        The factor numeric columns were divided by (1.0 = untouched).
+    """
+
+    matrix: DataMatrix
+    column_of: Tuple[int, ...]
+    value_of: Tuple[Optional[str], ...]
+    numeric_scale: float = 1.0
+
+    def original_columns(self, encoded_cols: Sequence[int]) -> List[int]:
+        """Original attribute indices touched by encoded columns."""
+        return sorted({self.column_of[j] for j in encoded_cols})
+
+    def describe_cluster(self, cluster: DeltaCluster) -> Dict[int, List[str]]:
+        """Per original attribute, the category values a cluster *holds*.
+
+        A set of rows sharing one category is coherent (constant) on
+        every indicator of that attribute, so a discovered cluster
+        typically contains them all; the values reported here are the
+        ones the cluster's rows predominantly take (indicator mean over
+        the rows > 0.5).  Numeric attributes map to an empty list (they
+        contribute by magnitude, not by value identity).
+        """
+        out: Dict[int, List[str]] = {}
+        rows = np.asarray(cluster.rows, dtype=np.intp)
+        for j in cluster.cols:
+            original = self.column_of[j]
+            value = self.value_of[j]
+            out.setdefault(original, [])
+            if value is None or rows.size == 0:
+                continue
+            column = self.matrix.values[rows, j]
+            specified = column[~np.isnan(column)]
+            if specified.size and float(specified.mean()) > 0.5:
+                out[original].append(value)
+        return out
+
+
+def encode_hybrid(
+    columns: Sequence[Sequence],
+    categorical: Sequence[int],
+    *,
+    scale_numeric: bool = True,
+    row_labels: Optional[Sequence[str]] = None,
+) -> CategoricalEncoding:
+    """Encode a hybrid column collection into a minable matrix.
+
+    Parameters
+    ----------
+    columns:
+        One sequence per attribute (column-major input); numeric columns
+        hold numbers / ``NaN``, categorical ones hold hashable values
+        (``None``/``""``/``"NA"`` = missing).
+    categorical:
+        Indices of the categorical columns.
+    scale_numeric:
+        Divide each numeric column by its specified-value range so its
+        residues are commensurate with the 0..1 indicator scale.  The
+        common range factor is recorded in ``numeric_scale`` (per-column
+        ranges are folded into the data; 1.0 when nothing was scaled).
+
+    Returns
+    -------
+    CategoricalEncoding
+    """
+    if not columns:
+        raise ValueError("need at least one column")
+    n_rows = len(columns[0])
+    for i, column in enumerate(columns):
+        if len(column) != n_rows:
+            raise ValueError(
+                f"column {i} has {len(column)} entries, expected {n_rows}"
+            )
+    categorical_set = set(categorical)
+    for index in categorical_set:
+        if not 0 <= index < len(columns):
+            raise IndexError(f"categorical index {index} out of range")
+
+    encoded: List[np.ndarray] = []
+    column_of: List[int] = []
+    value_of: List[Optional[str]] = []
+
+    # Numeric columns first (stable order), then categorical blocks.
+    for index, column in enumerate(columns):
+        if index in categorical_set:
+            continue
+        numeric = np.array(
+            [np.nan if v is None else float(v) for v in column], dtype=float
+        )
+        if scale_numeric:
+            specified = numeric[~np.isnan(numeric)]
+            span = float(specified.max() - specified.min()) if specified.size else 0.0
+            if span > 0:
+                numeric = numeric / span
+        encoded.append(numeric)
+        column_of.append(index)
+        value_of.append(None)
+
+    for index in sorted(categorical_set):
+        column = columns[index]
+        present = [
+            v for v in column
+            if not (v in MISSING_TOKENS or (isinstance(v, float) and np.isnan(v)))
+        ]
+        values = sorted({str(v) for v in present})
+        if not values:
+            raise ValueError(f"categorical column {index} is entirely missing")
+        for value in values:
+            indicator = np.empty(n_rows)
+            for row, cell in enumerate(column):
+                if cell in MISSING_TOKENS or (
+                    isinstance(cell, float) and np.isnan(cell)
+                ):
+                    indicator[row] = np.nan
+                else:
+                    indicator[row] = 1.0 if str(cell) == value else 0.0
+            encoded.append(indicator)
+            column_of.append(index)
+            value_of.append(value)
+
+    matrix = DataMatrix(np.column_stack(encoded), row_labels=row_labels)
+    return CategoricalEncoding(
+        matrix=matrix,
+        column_of=tuple(column_of),
+        value_of=tuple(value_of),
+        numeric_scale=1.0,
+    )

@@ -1,0 +1,83 @@
+"""Random-volume distributions for workload generation (Section 6.2).
+
+The paper draws the volumes of embedded clusters (and of Phase-1 seeds in
+the Figure 9 experiment) from an **Erlang distribution** [Kleinrock 1975],
+sweeping its *variance* from 0 (all clusters the same volume) upward (more
+and more disparate volumes) while holding the mean fixed.
+
+An Erlang(``shape``, ``rate``) variable -- a sum of ``shape`` i.i.d.
+exponentials -- has mean ``shape / rate`` and variance ``shape / rate**2``.
+Given a target mean ``mu`` and variance ``sigma2`` the moment-matched
+parameters are ``shape = mu**2 / sigma2`` (rounded to a positive integer)
+and ``rate = shape / mu``.  The paper's x-axis "variance" values (0..5)
+are small dimensionless levels, not raw variances of volumes in the
+hundreds, so :func:`erlang_volumes` interprets a level ``L`` as a relative
+spread: the coefficient of variation is ``L / 5`` (level 5 means the
+standard deviation equals the mean; level 0 means constant volumes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["erlang", "erlang_volumes", "variance_level_to_shape"]
+
+#: Highest variance level the paper sweeps (Table 5 / Figure 9).
+MAX_VARIANCE_LEVEL = 5
+
+
+def erlang(
+    shape: int, rate: float, size: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample Erlang(shape, rate): the sum of ``shape`` Exp(rate) variables.
+
+    Implemented as a Gamma draw with integer shape (an Erlang *is* that
+    Gamma).  Raises for non-positive parameters.
+    """
+    if shape < 1:
+        raise ValueError(f"Erlang shape must be a positive integer, got {shape}")
+    if rate <= 0:
+        raise ValueError(f"Erlang rate must be positive, got {rate}")
+    return rng.gamma(shape=shape, scale=1.0 / rate, size=size)
+
+
+def variance_level_to_shape(level: float) -> int:
+    """Map the paper's variance level (0..5) to an Erlang shape parameter.
+
+    Level ``L`` targets a coefficient of variation ``L / 5``; an Erlang
+    with shape ``s`` has CV ``1 / sqrt(s)``, so ``s = (5 / L)**2``.  Level
+    0 is the degenerate constant distribution and is handled by the
+    caller, not here.
+    """
+    if level <= 0:
+        raise ValueError("level 0 is the constant distribution; handle upstream")
+    if level > MAX_VARIANCE_LEVEL:
+        raise ValueError(
+            f"variance level must be <= {MAX_VARIANCE_LEVEL}, got {level}"
+        )
+    return max(1, int(round((MAX_VARIANCE_LEVEL / level) ** 2)))
+
+
+def erlang_volumes(
+    mean: float,
+    variance_level: float,
+    size: int,
+    rng: np.random.Generator,
+    minimum: float = 4.0,
+) -> np.ndarray:
+    """Draw ``size`` cluster volumes with the given mean and variance level.
+
+    ``variance_level == 0`` returns constant volumes.  Samples are floored
+    at ``minimum`` (a cluster needs at least a 2x2 core to carry any
+    coherence signal).
+    """
+    if mean <= 0:
+        raise ValueError(f"mean volume must be positive, got {mean}")
+    if size < 0:
+        raise ValueError(f"size must be non-negative, got {size}")
+    if variance_level == 0:
+        return np.full(size, float(mean))
+    shape = variance_level_to_shape(variance_level)
+    rate = shape / mean
+    samples = erlang(shape, rate, size, rng)
+    return np.maximum(samples, minimum)

@@ -1,0 +1,231 @@
+"""Synthetic matrices with embedded delta-clusters (Section 6.2 workloads).
+
+Every synthetic experiment in the paper (Tables 2-5, Figures 8-9) runs on a
+matrix with known planted clusters:
+
+* background entries drawn uniformly from a wide value range,
+* ``k*`` embedded clusters, each a submatrix whose entries follow the
+  perfect shifting-coherence model ``d_ij = base + row_offset_i +
+  col_offset_j`` plus optional Gaussian noise,
+* optionally, a fraction of entries knocked out to "missing" to exercise
+  the alpha-occupancy machinery.
+
+Embedded clusters use disjoint row sets (columns may overlap freely, as in
+a 3000x100 matrix with 50-100 clusters they must), so planted values never
+overwrite each other and the ground truth stays exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.cluster import DeltaCluster
+from ..core.matrix import DataMatrix
+from .distributions import erlang_volumes
+
+__all__ = ["SyntheticDataset", "generate_embedded", "volumes_to_shapes"]
+
+
+@dataclass
+class SyntheticDataset:
+    """A generated matrix plus its planted ground truth.
+
+    Attributes
+    ----------
+    matrix:
+        The data matrix (with missing entries if requested).
+    embedded:
+        The planted clusters, as :class:`DeltaCluster` objects.
+    noise:
+        The Gaussian noise sigma used inside the planted clusters.
+    """
+
+    matrix: DataMatrix
+    embedded: List[DeltaCluster] = field(default_factory=list)
+    noise: float = 0.0
+
+    @property
+    def n_embedded(self) -> int:
+        return len(self.embedded)
+
+    def embedded_average_residue(self) -> float:
+        """Average residue of the planted clusters (0 when noise == 0)."""
+        if not self.embedded:
+            return 0.0
+        return float(
+            np.mean([cluster.residue(self.matrix) for cluster in self.embedded])
+        )
+
+
+def volumes_to_shapes(
+    volumes: Sequence[float],
+    n_rows: int,
+    n_cols: int,
+    min_rows: int = 2,
+    min_cols: int = 2,
+    aspect: Optional[float] = None,
+) -> List[Tuple[int, int]]:
+    """Split target volumes into (rows, cols) counts matching the aspect.
+
+    A volume ``v`` becomes roughly ``sqrt(v * aspect)`` rows by
+    ``sqrt(v / aspect)`` columns, clamped to the matrix bounds and the
+    structural minimum.  ``aspect`` (rows per column) defaults to the
+    matrix's own ``M / N``; pass a smaller value to make clusters wider
+    -- wide clusters are the regime in which random seeds carry
+    supercritical fragments and FLOC recovery works (see DESIGN.md).
+    """
+    shapes = []
+    if aspect is None:
+        aspect = n_rows / n_cols
+    if aspect <= 0:
+        raise ValueError(f"aspect must be positive, got {aspect}")
+    for volume in volumes:
+        if volume <= 0:
+            raise ValueError(f"cluster volume must be positive, got {volume}")
+        rows = int(round(np.sqrt(volume * aspect)))
+        rows = min(max(rows, min_rows), n_rows)
+        cols = int(round(volume / rows))
+        cols = min(max(cols, min_cols), n_cols)
+        shapes.append((rows, cols))
+    return shapes
+
+
+def generate_embedded(
+    n_rows: int,
+    n_cols: int,
+    n_clusters: int,
+    *,
+    mean_volume: Optional[float] = None,
+    volume_variance_level: float = 0.0,
+    cluster_shape: Optional[Tuple[int, int]] = None,
+    cluster_aspect: Optional[float] = None,
+    noise: float = 0.0,
+    missing_fraction: float = 0.0,
+    background_range: Tuple[float, float] = (0.0, 600.0),
+    offset_range: Tuple[float, float] = (-100.0, 100.0),
+    rng: Union[None, int, np.random.Generator] = None,
+) -> SyntheticDataset:
+    """Generate a matrix with ``n_clusters`` planted delta-clusters.
+
+    Parameters
+    ----------
+    n_rows, n_cols:
+        Matrix dimensions (objects x attributes).
+    n_clusters:
+        How many clusters to embed.  Row sets are disjoint, so
+        ``n_clusters * rows_per_cluster`` must fit in ``n_rows``.
+    mean_volume:
+        Target mean volume of embedded clusters; volumes are drawn from an
+        Erlang distribution with the given ``volume_variance_level``
+        (Section 6.2's workload).  Mutually exclusive with
+        ``cluster_shape``.
+    cluster_shape:
+        Fixed ``(rows, cols)`` per cluster; mutually exclusive with
+        ``mean_volume``.  When neither is given, the paper's default of
+        ``(0.04 * n_rows) x (0.1 * n_cols)`` per cluster is used
+        (Section 6.2.1).
+    cluster_aspect:
+        Rows-per-column ratio used to turn Erlang volumes into shapes
+        (see :func:`volumes_to_shapes`); only meaningful with
+        ``mean_volume``.
+    noise:
+        Gaussian sigma added to planted entries (0 = perfect clusters).
+    missing_fraction:
+        Fraction of all entries knocked out to missing, uniformly at
+        random (never enough rows/cols to empty a planted cluster is NOT
+        guaranteed -- callers wanting guarantees should use alpha checks).
+    background_range:
+        Uniform range of background entries.
+    offset_range:
+        Uniform range of the per-row and per-column offsets inside planted
+        clusters; the cluster base is drawn from ``background_range``.
+    rng:
+        Seed / generator for reproducibility.
+
+    Returns
+    -------
+    SyntheticDataset
+    """
+    if n_rows < 1 or n_cols < 1:
+        raise ValueError(f"matrix must be non-empty, got {n_rows}x{n_cols}")
+    if n_clusters < 0:
+        raise ValueError(f"n_clusters must be >= 0, got {n_clusters}")
+    if not 0.0 <= missing_fraction < 1.0:
+        raise ValueError(
+            f"missing_fraction must be in [0, 1), got {missing_fraction}"
+        )
+    if noise < 0:
+        raise ValueError(f"noise must be >= 0, got {noise}")
+    if mean_volume is not None and cluster_shape is not None:
+        raise ValueError("pass either mean_volume or cluster_shape, not both")
+    generator = (
+        rng
+        if isinstance(rng, np.random.Generator)
+        else np.random.default_rng(rng)
+    )
+
+    lo, hi = background_range
+    if hi <= lo:
+        raise ValueError(f"background_range must be increasing, got {background_range}")
+    values = generator.uniform(lo, hi, size=(n_rows, n_cols))
+
+    if n_clusters == 0:
+        matrix = _apply_missing(values, missing_fraction, generator)
+        return SyntheticDataset(matrix=matrix, embedded=[], noise=noise)
+
+    if cluster_shape is not None:
+        shapes = [cluster_shape] * n_clusters
+    elif mean_volume is not None:
+        volumes = erlang_volumes(
+            mean_volume, volume_variance_level, n_clusters, generator
+        )
+        shapes = volumes_to_shapes(
+            volumes, n_rows, n_cols, aspect=cluster_aspect
+        )
+    else:
+        # Paper default (Section 6.2.1): average cluster volume
+        # (0.04 * N_objects) x (0.1 * N_attributes).
+        rows = max(2, int(round(0.04 * n_rows)))
+        cols = max(2, int(round(0.10 * n_cols)))
+        shapes = [(rows, cols)] * n_clusters
+
+    total_rows_needed = sum(shape[0] for shape in shapes)
+    if total_rows_needed > n_rows:
+        raise ValueError(
+            f"cannot embed {n_clusters} disjoint-row clusters needing "
+            f"{total_rows_needed} rows in a matrix with {n_rows} rows"
+        )
+
+    row_pool = generator.permutation(n_rows)
+    embedded: List[DeltaCluster] = []
+    cursor = 0
+    off_lo, off_hi = offset_range
+    for rows_count, cols_count in shapes:
+        rows = np.sort(row_pool[cursor: cursor + rows_count])
+        cursor += rows_count
+        cols = np.sort(
+            generator.choice(n_cols, size=min(cols_count, n_cols), replace=False)
+        )
+        base = generator.uniform(lo, hi)
+        row_offsets = generator.uniform(off_lo, off_hi, size=rows.size)
+        col_offsets = generator.uniform(off_lo, off_hi, size=cols.size)
+        planted = base + row_offsets[:, None] + col_offsets[None, :]
+        if noise > 0:
+            planted = planted + generator.normal(0.0, noise, size=planted.shape)
+        values[np.ix_(rows, cols)] = planted
+        embedded.append(DeltaCluster(rows, cols))
+
+    matrix = _apply_missing(values, missing_fraction, generator)
+    return SyntheticDataset(matrix=matrix, embedded=embedded, noise=noise)
+
+
+def _apply_missing(
+    values: np.ndarray, fraction: float, rng: np.random.Generator
+) -> DataMatrix:
+    if fraction > 0.0:
+        knockout = rng.random(values.shape) < fraction
+        values = np.where(knockout, np.nan, values)
+    return DataMatrix(values)

@@ -1,0 +1,37 @@
+"""Evaluation: metrics, experiment harness, and table rendering."""
+
+from .experiment import ExperimentConfig, TrialResult, generate_workload, run_trial, run_trials
+from .metrics import (
+    RecallPrecision,
+    clustering_report,
+    coverage_sets,
+    jaccard_entries,
+    match_clusters,
+    recall_precision,
+)
+from .reporting import format_records, format_series, format_table
+from .significance import (
+    SignificanceReport,
+    empirical_residue_distribution,
+    residue_significance,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "RecallPrecision",
+    "SignificanceReport",
+    "TrialResult",
+    "empirical_residue_distribution",
+    "residue_significance",
+    "clustering_report",
+    "coverage_sets",
+    "format_records",
+    "format_series",
+    "format_table",
+    "generate_workload",
+    "jaccard_entries",
+    "match_clusters",
+    "recall_precision",
+    "run_trial",
+    "run_trials",
+]

@@ -1,0 +1,153 @@
+"""Clustering quality metrics (Section 6 of the paper).
+
+The paper scores synthetic-data recovery with entry-level **recall** and
+**precision**: let ``U`` be the set of matrix cells covered by the embedded
+clusters and ``V`` the set covered by the discovered ones; then
+
+    recall    = |U intersect V| / |U|
+    precision = |U intersect V| / |V|
+
+plus the **average residue** of the discovered clusters, the per-cluster
+statistics of Table 1 (volume, row/column counts, residue, bounding-box
+diameter), and cluster-matching helpers used to diagnose which embedded
+cluster each discovered one corresponds to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.cluster import DeltaCluster
+from ..core.clustering import Clustering
+
+__all__ = [
+    "RecallPrecision",
+    "coverage_sets",
+    "recall_precision",
+    "match_clusters",
+    "jaccard_entries",
+    "clustering_report",
+]
+
+
+@dataclass(frozen=True)
+class RecallPrecision:
+    """Entry-level recall and precision, plus the raw cell counts."""
+
+    recall: float
+    precision: float
+    embedded_cells: int
+    discovered_cells: int
+    shared_cells: int
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of recall and precision (0 when both are 0)."""
+        total = self.recall + self.precision
+        if total == 0:
+            return 0.0
+        return 2.0 * self.recall * self.precision / total
+
+
+def coverage_sets(
+    clusters: Sequence[DeltaCluster], shape: Tuple[int, int]
+) -> np.ndarray:
+    """Boolean coverage matrix of a cluster collection."""
+    covered = np.zeros(shape, dtype=bool)
+    for cluster in clusters:
+        if not cluster.is_empty:
+            covered[np.ix_(cluster.rows, cluster.cols)] = True
+    return covered
+
+
+def recall_precision(
+    embedded: Sequence[DeltaCluster],
+    discovered: Sequence[DeltaCluster],
+    shape: Tuple[int, int],
+) -> RecallPrecision:
+    """Entry-level recall/precision between two cluster collections.
+
+    Degenerate cases follow the natural conventions: recall is 1.0 when
+    nothing was embedded, precision is 1.0 when nothing was discovered
+    (no false positives can exist).
+    """
+    embedded_cov = coverage_sets(embedded, shape)
+    discovered_cov = coverage_sets(discovered, shape)
+    u = int(embedded_cov.sum())
+    v = int(discovered_cov.sum())
+    shared = int((embedded_cov & discovered_cov).sum())
+    recall = shared / u if u else 1.0
+    precision = shared / v if v else 1.0
+    return RecallPrecision(recall, precision, u, v, shared)
+
+
+def jaccard_entries(first: DeltaCluster, second: DeltaCluster) -> float:
+    """Jaccard similarity of two clusters' cell sets."""
+    inter = first.overlap_entries(second)
+    union = first.entry_count() + second.entry_count() - inter
+    if union == 0:
+        return 0.0
+    return inter / union
+
+
+def match_clusters(
+    embedded: Sequence[DeltaCluster],
+    discovered: Sequence[DeltaCluster],
+) -> List[Tuple[int, Optional[int], float]]:
+    """Greedy one-to-one matching of embedded to discovered clusters.
+
+    Returns one ``(embedded_index, discovered_index_or_None, jaccard)``
+    triple per embedded cluster, matching highest-Jaccard pairs first.
+    Useful for diagnosing *which* planted cluster a run failed to recover.
+    """
+    pairs = []
+    for i, emb in enumerate(embedded):
+        for j, disc in enumerate(discovered):
+            score = jaccard_entries(emb, disc)
+            if score > 0.0:
+                pairs.append((score, i, j))
+    pairs.sort(reverse=True)
+    matched_embedded: Dict[int, Tuple[int, float]] = {}
+    used_discovered: set = set()
+    for score, i, j in pairs:
+        if i in matched_embedded or j in used_discovered:
+            continue
+        matched_embedded[i] = (j, score)
+        used_discovered.add(j)
+    out: List[Tuple[int, Optional[int], float]] = []
+    for i in range(len(embedded)):
+        if i in matched_embedded:
+            j, score = matched_embedded[i]
+            out.append((i, j, score))
+        else:
+            out.append((i, None, 0.0))
+    return out
+
+
+def clustering_report(
+    clustering: Clustering,
+    embedded: Optional[Sequence[DeltaCluster]] = None,
+) -> Dict[str, float]:
+    """One-line quality report: the numbers the paper's tables print.
+
+    Keys: ``average_residue``, ``total_volume``, ``row_coverage``,
+    ``col_coverage``, and -- when ``embedded`` ground truth is supplied --
+    ``recall``, ``precision``, ``f1``.
+    """
+    report: Dict[str, float] = {
+        "average_residue": clustering.average_residue(),
+        "total_volume": float(clustering.total_volume()),
+        "row_coverage": clustering.row_coverage(),
+        "col_coverage": clustering.col_coverage(),
+    }
+    if embedded is not None:
+        scores = recall_precision(
+            embedded, clustering.clusters, clustering.matrix.shape
+        )
+        report["recall"] = scores.recall
+        report["precision"] = scores.precision
+        report["f1"] = scores.f1
+    return report

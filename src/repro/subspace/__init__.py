@@ -1,0 +1,33 @@
+"""CLIQUE subspace clustering and the Section-4.4 alternative algorithm."""
+
+from .clique import DenseUnit, SubspaceCluster, clique
+from .cover import Rectangle, minimal_description, rectangle_covers
+from .derived import (
+    AlternativeResult,
+    alternative_delta_clusters,
+    attribute_graph,
+    derived_matrix,
+    subspace_cluster_to_delta,
+)
+from .graph import Graph, UnionFind, maximal_cliques
+from .grid import MISSING_BIN, GridPartition, discretize
+
+__all__ = [
+    "AlternativeResult",
+    "DenseUnit",
+    "Graph",
+    "GridPartition",
+    "MISSING_BIN",
+    "Rectangle",
+    "SubspaceCluster",
+    "UnionFind",
+    "alternative_delta_clusters",
+    "attribute_graph",
+    "clique",
+    "derived_matrix",
+    "discretize",
+    "maximal_cliques",
+    "minimal_description",
+    "rectangle_covers",
+    "subspace_cluster_to_delta",
+]

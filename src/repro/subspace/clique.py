@@ -1,0 +1,218 @@
+"""CLIQUE: grid- and density-based subspace clustering (Agrawal et al. 1998).
+
+The substrate of the paper's *alternative* delta-cluster algorithm
+(Section 4.4).  The implementation follows the description in Section 2:
+
+1. every dimension is partitioned into ``xi`` equal-width bins
+   (:mod:`repro.subspace.grid`);
+2. a *unit* -- one bin choice per dimension of a subspace -- is **dense**
+   when it holds more than a ``tau`` fraction of all points;
+3. dense units are mined bottom-up Apriori-style: dense units in
+   ``d``-dimensional subspaces are joined (and subset-pruned) to form
+   candidate ``d+1``-dimensional units, whose support is counted by
+   intersecting point sets;
+4. within each subspace, dense units that share a face (bins differing by
+   one step in exactly one dimension) merge into clusters via union-find.
+
+The output is a list of :class:`SubspaceCluster` -- (dimension set, point
+set) pairs -- exactly what the derived-attribute mapping consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..core.matrix import DataMatrix
+from .graph import UnionFind
+from .grid import discretize
+
+__all__ = ["DenseUnit", "SubspaceCluster", "clique"]
+
+#: A unit key: sorted ((dim, bin), ...) pairs.
+UnitKey = Tuple[Tuple[int, int], ...]
+
+
+@dataclass(frozen=True)
+class DenseUnit:
+    """A dense grid unit: dimension/bin choices plus its supporting points."""
+
+    key: UnitKey
+    points: FrozenSet[int]
+
+    @property
+    def dims(self) -> Tuple[int, ...]:
+        return tuple(dim for dim, _ in self.key)
+
+    @property
+    def bins(self) -> Tuple[int, ...]:
+        return tuple(b for _, b in self.key)
+
+    @property
+    def dimensionality(self) -> int:
+        return len(self.key)
+
+
+@dataclass(frozen=True)
+class SubspaceCluster:
+    """A maximal set of face-connected dense units in one subspace."""
+
+    dims: Tuple[int, ...]
+    points: FrozenSet[int]
+    units: Tuple[DenseUnit, ...]
+
+    @property
+    def dimensionality(self) -> int:
+        return len(self.dims)
+
+    @property
+    def n_points(self) -> int:
+        return len(self.points)
+
+
+def clique(
+    data: Union[DataMatrix, np.ndarray],
+    xi: int,
+    tau: float,
+    max_dims: Optional[int] = None,
+    min_points: int = 1,
+) -> List[SubspaceCluster]:
+    """Run CLIQUE and return the subspace clusters of every subspace level.
+
+    Parameters
+    ----------
+    data:
+        Points x dimensions; ``NaN`` coordinates never contribute density.
+    xi:
+        Number of equal-width bins per dimension.
+    tau:
+        Density threshold: a unit is dense when it holds *more than*
+        ``tau`` of all points.
+    max_dims:
+        Optional cap on subspace dimensionality (the Apriori ladder stops
+        there); ``None`` lets it run until no candidates survive.
+    min_points:
+        Discard clusters supported by fewer points.
+
+    Returns
+    -------
+    list of :class:`SubspaceCluster`, highest-dimensional first.
+    """
+    if not 0.0 < tau < 1.0:
+        raise ValueError(f"tau must be in (0, 1), got {tau}")
+    if max_dims is not None and max_dims < 1:
+        raise ValueError(f"max_dims must be >= 1, got {max_dims}")
+    partition = discretize(data, xi)
+    n_points = partition.n_points
+    min_support = tau * n_points
+
+    # Level 1: dense 1-dimensional units.
+    level: Dict[UnitKey, FrozenSet[int]] = {}
+    for dim in range(partition.n_dims):
+        column = partition.bins[:, dim]
+        for bin_index in range(partition.xi):
+            members = np.flatnonzero(column == bin_index)
+            if members.size > min_support:
+                key: UnitKey = ((dim, int(bin_index)),)
+                level[key] = frozenset(int(i) for i in members)
+    dense_by_level: List[Dict[UnitKey, FrozenSet[int]]] = [level]
+
+    # Apriori ladder.
+    depth = 1
+    while level and (max_dims is None or depth < max_dims):
+        candidates = _generate_candidates(level)
+        next_level: Dict[UnitKey, FrozenSet[int]] = {}
+        for key, (first, second) in candidates.items():
+            support = level[first] & level[second]
+            if len(support) > min_support and _all_subunits_dense(key, level):
+                next_level[key] = support
+        if not next_level:
+            break
+        dense_by_level.append(next_level)
+        level = next_level
+        depth += 1
+
+    clusters: List[SubspaceCluster] = []
+    for units in reversed(dense_by_level):
+        clusters.extend(_connect_units(units, min_points))
+    return clusters
+
+
+def _generate_candidates(
+    level: Dict[UnitKey, FrozenSet[int]]
+) -> Dict[UnitKey, Tuple[UnitKey, UnitKey]]:
+    """Join units agreeing on all but their last (dim, bin) pair.
+
+    Classic Apriori candidate generation: two ``d``-dimensional dense
+    units whose first ``d-1`` pairs coincide and whose last pairs name
+    *different* dimensions join into a ``d+1``-dimensional candidate.
+    Returns candidate -> (parent_a, parent_b) so supports can be
+    intersected without re-scanning points.
+    """
+    keys = sorted(level)
+    by_prefix: Dict[UnitKey, List[UnitKey]] = {}
+    for key in keys:
+        by_prefix.setdefault(key[:-1], []).append(key)
+    candidates: Dict[UnitKey, Tuple[UnitKey, UnitKey]] = {}
+    for prefix, group in by_prefix.items():
+        for i, first in enumerate(group):
+            for second in group[i + 1:]:
+                dim_a, dim_b = first[-1][0], second[-1][0]
+                if dim_a == dim_b:
+                    continue
+                merged = tuple(sorted(prefix + (first[-1], second[-1])))
+                candidates.setdefault(merged, (first, second))
+    return candidates
+
+
+def _all_subunits_dense(
+    key: UnitKey, level: Dict[UnitKey, FrozenSet[int]]
+) -> bool:
+    """Apriori pruning: every d-element sub-unit must itself be dense."""
+    for drop in range(len(key)):
+        sub = key[:drop] + key[drop + 1:]
+        if sub not in level:
+            return False
+    return True
+
+
+def _connect_units(
+    units: Dict[UnitKey, FrozenSet[int]], min_points: int
+) -> List[SubspaceCluster]:
+    """Merge face-adjacent dense units of each subspace into clusters."""
+    by_subspace: Dict[Tuple[int, ...], List[UnitKey]] = {}
+    for key in units:
+        dims = tuple(dim for dim, _ in key)
+        by_subspace.setdefault(dims, []).append(key)
+
+    clusters: List[SubspaceCluster] = []
+    for dims, keys in by_subspace.items():
+        forest = UnionFind()
+        key_set = set(keys)
+        for key in keys:
+            forest.add(key)
+            # Probe the <=2d face-neighbours instead of comparing all pairs.
+            for position, (dim, bin_index) in enumerate(key):
+                for delta in (-1, 1):
+                    neighbor = (
+                        key[:position]
+                        + ((dim, bin_index + delta),)
+                        + key[position + 1:]
+                    )
+                    if neighbor in key_set:
+                        forest.union(key, neighbor)
+        for group in forest.groups():
+            member_units = tuple(
+                DenseUnit(key=k, points=units[k]) for k in sorted(group)
+            )
+            points: FrozenSet[int] = frozenset().union(
+                *(units[k] for k in group)
+            )
+            if len(points) >= min_points:
+                clusters.append(
+                    SubspaceCluster(dims=dims, points=points, units=member_units)
+                )
+    clusters.sort(key=lambda c: (-c.dimensionality, -c.n_points))
+    return clusters

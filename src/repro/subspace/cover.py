@@ -1,0 +1,171 @@
+"""Minimal cluster descriptions for CLIQUE (Agrawal et al. 1998, phase 3).
+
+A CLIQUE cluster is a connected set of dense grid units; the original
+algorithm finishes by producing a *minimal description* -- a small set of
+axis-aligned hyper-rectangles of units whose union covers the cluster.
+The delta-clusters paper only needs CLIQUE's (dims, points) output, but a
+faithful CLIQUE substrate ships the description step too:
+
+1. **greedy growth**: starting from an uncovered unit, grow a maximal
+   rectangle by repeatedly extending it one bin in whichever direction
+   keeps every contained unit dense;
+2. repeat until every unit is covered;
+3. **removal heuristic**: drop rectangles whose units are all covered by
+   other rectangles.
+
+The result is not guaranteed minimal (that problem is NP-hard; the greedy
++ removal heuristic is exactly what the CLIQUE paper prescribes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .clique import SubspaceCluster, UnitKey
+
+__all__ = ["Rectangle", "minimal_description", "rectangle_covers"]
+
+
+@dataclass(frozen=True)
+class Rectangle:
+    """An axis-aligned range of bins per dimension of a subspace.
+
+    ``dims[i]``'s bins span ``lo[i] .. hi[i]`` inclusive.
+    """
+
+    dims: Tuple[int, ...]
+    lo: Tuple[int, ...]
+    hi: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not (len(self.dims) == len(self.lo) == len(self.hi)):
+            raise ValueError("dims, lo and hi must have equal length")
+        for low, high in zip(self.lo, self.hi):
+            if low > high:
+                raise ValueError(f"empty bin range {low}..{high}")
+
+    def contains(self, key: UnitKey) -> bool:
+        """Whether a unit (sorted (dim, bin) pairs) lies inside."""
+        if tuple(dim for dim, __ in key) != self.dims:
+            return False
+        return all(
+            low <= bin_index <= high
+            for (__, bin_index), low, high in zip(key, self.lo, self.hi)
+        )
+
+    def units(self) -> List[UnitKey]:
+        """Enumerate every unit key inside the rectangle."""
+        out: List[UnitKey] = [()]
+        for dim, low, high in zip(self.dims, self.lo, self.hi):
+            out = [
+                prefix + ((dim, bin_index),)
+                for prefix in out
+                for bin_index in range(low, high + 1)
+            ]
+        return out
+
+    @property
+    def n_units(self) -> int:
+        size = 1
+        for low, high in zip(self.lo, self.hi):
+            size *= high - low + 1
+        return size
+
+
+def rectangle_covers(
+    rectangles: Sequence[Rectangle], keys: Sequence[UnitKey]
+) -> bool:
+    """Do the rectangles jointly cover every unit key?"""
+    return all(
+        any(rect.contains(key) for rect in rectangles) for key in keys
+    )
+
+
+def minimal_description(cluster: SubspaceCluster) -> List[Rectangle]:
+    """Greedy-growth + removal-heuristic cover of a cluster's units.
+
+    Returns rectangles whose union is exactly the cluster's dense units
+    (no rectangle strays outside the cluster).
+    """
+    keys = {unit.key for unit in cluster.units}
+    if not keys:
+        return []
+    dims = cluster.dims
+    uncovered = set(keys)
+    rectangles: List[Rectangle] = []
+    while uncovered:
+        seed = min(uncovered)  # deterministic
+        rect = _grow(seed, dims, keys)
+        rectangles.append(rect)
+        uncovered -= set(rect.units())
+
+    return _remove_redundant(rectangles, keys)
+
+
+def _grow(seed: UnitKey, dims: Tuple[int, ...], keys: set) -> Rectangle:
+    """Maximal rectangle around ``seed`` staying inside ``keys``.
+
+    Extends one bin at a time per direction, cycling through dimensions,
+    exactly like CLIQUE's greedy growth.
+    """
+    lo = [bin_index for __, bin_index in seed]
+    hi = list(lo)
+    changed = True
+    while changed:
+        changed = False
+        for axis in range(len(dims)):
+            for direction in (-1, 1):
+                candidate_lo = list(lo)
+                candidate_hi = list(hi)
+                if direction < 0:
+                    candidate_lo[axis] -= 1
+                else:
+                    candidate_hi[axis] += 1
+                rect = Rectangle(dims, tuple(candidate_lo), tuple(candidate_hi))
+                # The extension is legal when every newly included unit
+                # is dense (i.e. in the cluster).
+                if all(key in keys for key in _face_units(
+                    dims, candidate_lo, candidate_hi, axis, direction
+                )):
+                    lo, hi = candidate_lo, candidate_hi
+                    changed = True
+    return Rectangle(dims, tuple(lo), tuple(hi))
+
+
+def _face_units(
+    dims: Tuple[int, ...],
+    lo: List[int],
+    hi: List[int],
+    axis: int,
+    direction: int,
+) -> List[UnitKey]:
+    """Units on the face just added by extending ``axis`` in ``direction``."""
+    face_bin = lo[axis] if direction < 0 else hi[axis]
+    out: List[UnitKey] = [()]
+    for i, dim in enumerate(dims):
+        if i == axis:
+            choices = [face_bin]
+        else:
+            choices = list(range(lo[i], hi[i] + 1))
+        out = [
+            prefix + ((dim, bin_index),)
+            for prefix in out
+            for bin_index in choices
+        ]
+    return out
+
+
+def _remove_redundant(
+    rectangles: List[Rectangle], keys: set
+) -> List[Rectangle]:
+    """Drop rectangles whose units are covered by the rest (smallest
+    first, the CLIQUE heuristic)."""
+    kept = list(rectangles)
+    for rect in sorted(rectangles, key=lambda r: r.n_units):
+        if len(kept) == 1:
+            break
+        remaining = [r for r in kept if r is not rect]
+        if rectangle_covers(remaining, rect.units()):
+            kept = remaining
+    return kept

@@ -1,0 +1,187 @@
+"""The alternative delta-cluster algorithm (Section 4.4 of the paper).
+
+The paper sketches -- and then argues against -- a reduction of
+delta-cluster mining to classic subspace clustering:
+
+1. **Derive attributes.** For every pair of original attributes
+   ``(A_j1, A_j2)`` with ``j1 < j2``, add a derived attribute holding
+   ``A_j1 - A_j2``.  ``N`` attributes become ``N * (N - 1) / 2`` derived
+   ones (Figure 7(a)); an entry is missing when either operand is.
+2. **Subspace-cluster the derived matrix** with CLIQUE: objects whose
+   pairwise attribute differences agree are close in the derived space.
+3. **Map back.**  For each subspace cluster, build a graph on the original
+   attributes with an edge per derived dimension present; every clique of
+   that graph (Figure 7(b)) names an attribute set on which the cluster's
+   objects are shifting-coherent -- i.e. a delta-cluster.
+
+The quadratic dimensionality blow-up makes step 2 very expensive -- that is
+exactly the point of Figure 10, which this module's implementation
+regenerates as the slow baseline curve.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..core.cluster import DeltaCluster
+from ..core.matrix import DataMatrix
+from .clique import SubspaceCluster, clique
+from .graph import Graph, maximal_cliques
+
+__all__ = [
+    "derived_matrix",
+    "attribute_graph",
+    "subspace_cluster_to_delta",
+    "AlternativeResult",
+    "alternative_delta_clusters",
+]
+
+
+def derived_matrix(
+    matrix: Union[DataMatrix, np.ndarray]
+) -> Tuple[DataMatrix, List[Tuple[int, int]]]:
+    """Build the pairwise-difference matrix of Figure 7(a).
+
+    Returns the derived :class:`DataMatrix` (``N * (N-1) / 2`` columns)
+    and the list of original-attribute pairs, aligned with the derived
+    columns.  Derived entries are missing when either operand is.
+    """
+    values = matrix.values if isinstance(matrix, DataMatrix) else np.asarray(matrix)
+    if values.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got ndim={values.ndim}")
+    n_cols = values.shape[1]
+    if n_cols < 2:
+        raise ValueError("need at least 2 attributes to derive differences")
+    pairs: List[Tuple[int, int]] = [
+        (j1, j2) for j1 in range(n_cols) for j2 in range(j1 + 1, n_cols)
+    ]
+    columns = [values[:, j1] - values[:, j2] for j1, j2 in pairs]
+    derived = np.column_stack(columns)
+    labels = None
+    if isinstance(matrix, DataMatrix) and matrix.col_labels is not None:
+        labels = [
+            f"{matrix.col_labels[j1]}-{matrix.col_labels[j2]}" for j1, j2 in pairs
+        ]
+    return DataMatrix(derived, col_labels=labels), pairs
+
+
+def attribute_graph(
+    cluster_dims: Tuple[int, ...], pairs: List[Tuple[int, int]]
+) -> Graph:
+    """Graph on original attributes induced by a derived-subspace cluster.
+
+    One vertex per original attribute touched, one edge per derived
+    dimension in the subspace cluster (Figure 7(b)).
+    """
+    graph = Graph()
+    for dim in cluster_dims:
+        j1, j2 = pairs[dim]
+        graph.add_edge(j1, j2)
+    return graph
+
+
+def subspace_cluster_to_delta(
+    cluster: SubspaceCluster,
+    pairs: List[Tuple[int, int]],
+    min_rows: int = 2,
+    min_cols: int = 2,
+) -> List[DeltaCluster]:
+    """Extract the delta-clusters a derived-subspace cluster implies.
+
+    Every maximal clique of at least ``min_cols`` attributes in the
+    induced attribute graph, together with the subspace cluster's object
+    set, is a candidate delta-cluster.
+    """
+    if cluster.n_points < min_rows:
+        return []
+    graph = attribute_graph(cluster.dims, pairs)
+    rows = sorted(cluster.points)
+    out = []
+    for clique_vertices in maximal_cliques(graph, min_size=min_cols):
+        out.append(DeltaCluster(rows, sorted(clique_vertices)))
+    return out
+
+
+@dataclass
+class AlternativeResult:
+    """Outcome of the alternative algorithm, with its cost breakdown."""
+
+    clusters: List[DeltaCluster] = field(default_factory=list)
+    n_derived_attributes: int = 0
+    n_subspace_clusters: int = 0
+    elapsed_seconds: float = 0.0
+    derive_seconds: float = 0.0
+    clique_seconds: float = 0.0
+    map_seconds: float = 0.0
+
+
+def alternative_delta_clusters(
+    matrix: Union[DataMatrix, np.ndarray],
+    xi: int = 10,
+    tau: float = 0.01,
+    max_dims: Optional[int] = None,
+    min_rows: int = 2,
+    min_cols: int = 2,
+    max_residue: Optional[float] = None,
+) -> AlternativeResult:
+    """Run the full three-step alternative algorithm.
+
+    Parameters
+    ----------
+    matrix:
+        The original data matrix.
+    xi, tau, max_dims:
+        CLIQUE parameters for the derived matrix (see
+        :func:`repro.subspace.clique.clique`).
+    min_rows, min_cols:
+        Discard candidate delta-clusters smaller than this.
+    max_residue:
+        When given, verify every candidate against the *original* matrix
+        and keep only those with mean absolute residue at most this bound
+        (grid discretization admits some slack; verification removes it).
+
+    Returns
+    -------
+    AlternativeResult with deduplicated clusters and per-phase timings.
+    """
+    if not isinstance(matrix, DataMatrix):
+        matrix = DataMatrix(matrix)
+    started = time.perf_counter()
+
+    derive_start = time.perf_counter()
+    derived, pairs = derived_matrix(matrix)
+    derive_seconds = time.perf_counter() - derive_start
+
+    clique_start = time.perf_counter()
+    subspace_clusters = clique(
+        derived, xi=xi, tau=tau, max_dims=max_dims, min_points=min_rows
+    )
+    clique_seconds = time.perf_counter() - clique_start
+
+    map_start = time.perf_counter()
+    seen = set()
+    clusters: List[DeltaCluster] = []
+    for sc in subspace_clusters:
+        for candidate in subspace_cluster_to_delta(sc, pairs, min_rows, min_cols):
+            key = (candidate.rows, candidate.cols)
+            if key in seen:
+                continue
+            seen.add(key)
+            if max_residue is not None and candidate.residue(matrix) > max_residue:
+                continue
+            clusters.append(candidate)
+    map_seconds = time.perf_counter() - map_start
+
+    return AlternativeResult(
+        clusters=clusters,
+        n_derived_attributes=len(pairs),
+        n_subspace_clusters=len(subspace_clusters),
+        elapsed_seconds=time.perf_counter() - started,
+        derive_seconds=derive_seconds,
+        clique_seconds=clique_seconds,
+        map_seconds=map_seconds,
+    )

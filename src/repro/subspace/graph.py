@@ -1,0 +1,133 @@
+"""Small graph substrate: union-find, adjacency graphs, maximal cliques.
+
+The alternative delta-cluster algorithm (Section 4.4) needs two graph
+operations implemented from scratch:
+
+* **connected components** over dense grid units (CLIQUE merges adjacent
+  dense units into subspace clusters) -- provided by :class:`UnionFind`,
+* **maximal clique enumeration** over the attribute graph built from
+  derived-attribute subspace clusters ("Any clique in this graph indicates
+  the existence of a delta-cluster") -- provided by Bron-Kerbosch with
+  pivoting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterator, List, Set
+
+__all__ = ["UnionFind", "Graph", "maximal_cliques"]
+
+
+class UnionFind:
+    """Disjoint-set forest with path compression and union by size."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._size: Dict[Hashable, int] = {}
+
+    def add(self, item: Hashable) -> None:
+        if item not in self._parent:
+            self._parent[item] = item
+            self._size[item] = 1
+
+    def find(self, item: Hashable) -> Hashable:
+        """Root of ``item``'s set (inserting the item when new)."""
+        self.add(item)
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:  # path compression
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, first: Hashable, second: Hashable) -> None:
+        root_a = self.find(first)
+        root_b = self.find(second)
+        if root_a == root_b:
+            return
+        if self._size[root_a] < self._size[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        self._size[root_a] += self._size[root_b]
+
+    def groups(self) -> List[Set[Hashable]]:
+        """All disjoint sets, as a list of member sets."""
+        buckets: Dict[Hashable, Set[Hashable]] = {}
+        for item in self._parent:
+            buckets.setdefault(self.find(item), set()).add(item)
+        return list(buckets.values())
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+
+class Graph:
+    """Tiny undirected graph on hashable vertices (adjacency sets)."""
+
+    def __init__(self) -> None:
+        self._adj: Dict[Hashable, Set[Hashable]] = {}
+
+    def add_vertex(self, vertex: Hashable) -> None:
+        self._adj.setdefault(vertex, set())
+
+    def add_edge(self, first: Hashable, second: Hashable) -> None:
+        if first == second:
+            raise ValueError(f"self-loop on {first!r} not allowed")
+        self.add_vertex(first)
+        self.add_vertex(second)
+        self._adj[first].add(second)
+        self._adj[second].add(first)
+
+    @property
+    def vertices(self) -> FrozenSet[Hashable]:
+        return frozenset(self._adj)
+
+    def neighbors(self, vertex: Hashable) -> FrozenSet[Hashable]:
+        return frozenset(self._adj[vertex])
+
+    def has_edge(self, first: Hashable, second: Hashable) -> bool:
+        return second in self._adj.get(first, ())
+
+    def n_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._adj)
+
+
+def maximal_cliques(graph: Graph, min_size: int = 1) -> List[FrozenSet[Hashable]]:
+    """All maximal cliques of ``graph`` (Bron-Kerbosch with pivoting).
+
+    Returns cliques of at least ``min_size`` vertices.  Pivoting keeps the
+    recursion tree small on the near-clique graphs the derived-attribute
+    mapping produces.
+    """
+    if min_size < 1:
+        raise ValueError(f"min_size must be >= 1, got {min_size}")
+    adjacency = {v: set(graph.neighbors(v)) for v in graph}
+    cliques: List[FrozenSet[Hashable]] = []
+
+    def expand(candidate: Set, candidates: Set, excluded: Set) -> None:
+        if not candidates and not excluded:
+            if len(candidate) >= min_size:
+                cliques.append(frozenset(candidate))
+            return
+        pivot_pool = candidates | excluded
+        pivot = max(pivot_pool, key=lambda v: len(adjacency[v] & candidates))
+        for vertex in list(candidates - adjacency[pivot]):
+            expand(
+                candidate | {vertex},
+                candidates & adjacency[vertex],
+                excluded & adjacency[vertex],
+            )
+            candidates.discard(vertex)
+            excluded.add(vertex)
+
+    expand(set(), set(adjacency), set())
+    return cliques

@@ -1,0 +1,139 @@
+"""Unit tests for the categorical/hybrid encoding extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.cluster import DeltaCluster
+from repro.data.categorical import CategoricalEncoding, encode_hybrid
+
+NAN = float("nan")
+
+
+class TestValidation:
+    def test_empty_input(self):
+        with pytest.raises(ValueError, match="at least one"):
+            encode_hybrid([], categorical=[])
+
+    def test_ragged_columns(self):
+        with pytest.raises(ValueError, match="entries"):
+            encode_hybrid([[1.0, 2.0], [1.0]], categorical=[])
+
+    def test_categorical_index_range(self):
+        with pytest.raises(IndexError, match="out of range"):
+            encode_hybrid([[1.0, 2.0]], categorical=[5])
+
+    def test_fully_missing_categorical(self):
+        with pytest.raises(ValueError, match="entirely missing"):
+            encode_hybrid([["NA", None]], categorical=[0])
+
+
+class TestEncoding:
+    def test_one_hot_columns(self):
+        enc = encode_hybrid([["a", "b", "a", "c"]], categorical=[0])
+        assert enc.matrix.shape == (4, 3)  # values a, b, c
+        assert enc.value_of == ("a", "b", "c")
+        assert enc.column_of == (0, 0, 0)
+        assert enc.matrix.values[:, 0].tolist() == [1.0, 0.0, 1.0, 0.0]
+        assert enc.matrix.values[:, 1].tolist() == [0.0, 1.0, 0.0, 0.0]
+
+    def test_missing_categorical_entry(self):
+        enc = encode_hybrid([["a", None, "b"]], categorical=[0])
+        assert np.isnan(enc.matrix.values[1]).all()
+
+    def test_numeric_columns_kept_first(self):
+        enc = encode_hybrid(
+            [[10.0, 20.0], ["x", "y"], [1.0, 3.0]],
+            categorical=[1],
+        )
+        # Numeric columns 0 and 2 first, then indicators for x, y.
+        assert enc.column_of == (0, 2, 1, 1)
+        assert enc.value_of[:2] == (None, None)
+
+    def test_numeric_scaling(self):
+        enc = encode_hybrid([[0.0, 10.0]], categorical=[], scale_numeric=True)
+        assert enc.matrix.values[:, 0].tolist() == [0.0, 1.0]
+
+    def test_numeric_scaling_off(self):
+        enc = encode_hybrid([[0.0, 10.0]], categorical=[], scale_numeric=False)
+        assert enc.matrix.values[:, 0].tolist() == [0.0, 10.0]
+
+    def test_numeric_missing_preserved(self):
+        enc = encode_hybrid([[1.0, None, 3.0]], categorical=[])
+        assert np.isnan(enc.matrix.values[1, 0])
+
+
+class TestClusterMapping:
+    def test_original_columns(self):
+        enc = encode_hybrid(
+            [[1.0, 2.0], ["a", "b"]],
+            categorical=[1],
+        )
+        assert enc.original_columns([0]) == [0]
+        assert enc.original_columns([1, 2]) == [1]
+
+    def test_describe_cluster(self):
+        enc = encode_hybrid(
+            [[1.0, 2.0, 3.0], ["a", "a", "b"]],
+            categorical=[1],
+        )
+        cluster = DeltaCluster(rows=(0, 1), cols=(0, 1))  # numeric + 'a'
+        described = enc.describe_cluster(cluster)
+        assert described[0] == []          # numeric column
+        assert described[1] == ["a"]       # rows 0 and 1 both hold 'a'
+
+    def test_describe_skips_values_rows_do_not_hold(self):
+        enc = encode_hybrid([["a", "a", "b"]], categorical=[0])
+        # Cluster covering BOTH indicator columns but rows holding 'a'.
+        cluster = DeltaCluster(rows=(0, 1), cols=(0, 1))
+        described = enc.describe_cluster(cluster)
+        assert described[0] == ["a"]
+
+
+class TestCoherenceSemantics:
+    def test_agreeing_rows_have_zero_residue_on_indicators(self):
+        # Rows choosing the same categories agree on every indicator.
+        enc = encode_hybrid(
+            [["a", "a", "b", "b"], ["x", "x", "y", "x"]],
+            categorical=[0, 1],
+        )
+        agreeing = DeltaCluster(rows=(0, 1), cols=tuple(range(enc.matrix.n_cols)))
+        assert agreeing.residue(enc.matrix) == pytest.approx(0.0)
+
+    def test_disagreeing_rows_have_positive_residue(self):
+        enc = encode_hybrid([["a", "b"]], categorical=[0])
+        disagreeing = DeltaCluster(rows=(0, 1), cols=(0, 1))
+        assert disagreeing.residue(enc.matrix) > 0.0
+
+    def test_floc_finds_categorical_group(self):
+        # 40 objects: rows 0-14 share category 'a' AND a numeric pattern.
+        rng = np.random.default_rng(0)
+        numeric = list(rng.uniform(0, 100, size=40))
+        for row in range(15):
+            numeric[row] = 50.0 + (row % 3)
+        labels = [
+            "a" if row < 15 else str(rng.choice(["b", "c", "d"]))
+            for row in range(40)
+        ]
+        second = list(rng.uniform(0, 100, size=40))
+        for row in range(15):
+            second[row] = 10.0 + (row % 3)
+        enc = encode_hybrid(
+            [numeric, second, labels], categorical=[2], scale_numeric=True
+        )
+        from repro import Constraints, floc
+
+        result = floc(
+            enc.matrix, k=3, p=0.3, rng=1,
+            residue_target=0.1,
+            constraints=Constraints(min_rows=3, min_cols=3),
+            reseed_rounds=8, gain_mode="fast", ordering="greedy",
+        )
+        best = max(
+            result.clustering,
+            key=lambda c: len(set(c.rows) & set(range(15))),
+        )
+        assert len(set(best.rows) & set(range(15))) >= 10
+        described = enc.describe_cluster(best)
+        # If the cluster touches the categorical attribute at all, the
+        # value its rows hold is 'a'.
+        assert described.get(2, []) in ([], ["a"])

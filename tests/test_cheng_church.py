@@ -1,0 +1,208 @@
+"""Unit tests for the Cheng & Church biclustering baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cheng_church import (
+    ChengChurchResult,
+    col_msr_contributions,
+    fill_missing_with_random,
+    find_bicluster,
+    find_biclusters,
+    msr,
+    multiple_node_deletion,
+    node_addition,
+    row_msr_contributions,
+    single_node_deletion,
+)
+from repro.core.matrix import DataMatrix
+from repro.data.synthetic import generate_embedded
+
+NAN = float("nan")
+
+
+def perfect_block(rows=4, cols=3, base=10.0):
+    r = np.arange(rows, dtype=float)[:, None]
+    c = np.arange(cols, dtype=float)[None, :] * 2.0
+    return base + r + c
+
+
+class TestMsr:
+    def test_perfect_pattern_zero(self):
+        assert msr(perfect_block()) == pytest.approx(0.0, abs=1e-12)
+
+    def test_known_2x2(self):
+        sub = np.array([[1.0, 2.0], [3.0, 8.0]])
+        # Every squared residue is ((1-2-3+8)/4)^2 = 1.0.
+        assert msr(sub) == pytest.approx(1.0)
+
+    def test_count_aware_with_missing(self):
+        sub = np.array([[1.0, NAN], [3.0, 4.0]])
+        assert msr(sub) >= 0.0
+
+    def test_contributions_sum_consistency(self):
+        rng = np.random.default_rng(0)
+        sub = rng.normal(size=(5, 4))
+        d = row_msr_contributions(sub)
+        e = col_msr_contributions(sub)
+        h = msr(sub)
+        assert np.mean(d) == pytest.approx(h)
+        assert np.mean(e) == pytest.approx(h)
+
+
+class TestSingleNodeDeletion:
+    def test_reaches_delta(self):
+        rng = np.random.default_rng(1)
+        values = rng.uniform(0, 100, size=(20, 10))
+        rows, cols = single_node_deletion(
+            values, np.arange(20), np.arange(10), delta=50.0
+        )
+        assert msr(values[np.ix_(rows, cols)]) <= 50.0
+
+    def test_keeps_perfect_block_intact(self):
+        values = perfect_block(6, 5)
+        rows, cols = single_node_deletion(
+            values, np.arange(6), np.arange(5), delta=0.5
+        )
+        assert rows.size == 6
+        assert cols.size == 5
+
+    def test_removes_outlier_row(self):
+        values = perfect_block(6, 5)
+        values[3] = [999.0, -50.0, 123.0, 7.0, 1000.0]
+        rows, cols = single_node_deletion(
+            values, np.arange(6), np.arange(5), delta=1.0
+        )
+        assert 3 not in rows
+
+    def test_never_collapses_below_two(self):
+        rng = np.random.default_rng(2)
+        values = rng.uniform(0, 1000, size=(6, 6))
+        rows, cols = single_node_deletion(
+            values, np.arange(6), np.arange(6), delta=0.0
+        )
+        assert rows.size >= 1
+        assert cols.size >= 1
+
+
+class TestMultipleNodeDeletion:
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError, match="threshold"):
+            multiple_node_deletion(
+                np.ones((4, 4)), np.arange(4), np.arange(4), 1.0, threshold=0.9
+            )
+
+    def test_batch_removes_bad_rows(self):
+        rng = np.random.default_rng(3)
+        values = perfect_block(150, 12)
+        noisy = rng.choice(150, size=30, replace=False)
+        values[noisy] += rng.uniform(-500, 500, size=(30, 12))
+        rows, cols = multiple_node_deletion(
+            values, np.arange(150), np.arange(12), delta=5.0,
+            min_rows_for_batch=50, min_cols_for_batch=50,
+        )
+        # The batch phase alone need not reach delta, but it must strip
+        # most of the corrupted rows.
+        assert len(set(noisy) & set(rows)) < 10
+
+    def test_small_matrix_left_for_single_deletion(self):
+        rng = np.random.default_rng(4)
+        values = rng.uniform(0, 100, size=(10, 10))
+        rows, cols = multiple_node_deletion(
+            values, np.arange(10), np.arange(10), delta=0.1,
+            min_rows_for_batch=100, min_cols_for_batch=100,
+        )
+        # Both axes below the batch threshold: nothing happens.
+        assert rows.size == 10
+        assert cols.size == 10
+
+
+class TestNodeAddition:
+    def test_grows_back_perfect_lines(self):
+        values = perfect_block(8, 6)
+        rows, cols = node_addition(
+            values, np.arange(4), np.arange(3)
+        )
+        assert rows.size == 8
+        assert cols.size == 6
+
+    def test_does_not_add_junk(self):
+        values = perfect_block(8, 6)
+        values[7] = np.random.default_rng(5).uniform(-1000, 1000, 6)
+        rows, cols = node_addition(values, np.arange(4), np.arange(6))
+        assert 7 not in rows
+
+    def test_inverted_rows_added_when_enabled(self):
+        values = perfect_block(6, 5, base=0.0)
+        # Row 5 is a mirror image (co-regulated with opposite sign).
+        values[5] = -values[0]
+        rows_without, __ = node_addition(values, np.arange(4), np.arange(5))
+        rows_with, __ = node_addition(
+            values, np.arange(4), np.arange(5), include_inverted_rows=True
+        )
+        assert 5 not in rows_without
+        assert 5 in rows_with
+
+
+class TestFindBiclusters:
+    def test_finds_planted_block(self):
+        dataset = generate_embedded(
+            60, 20, 1, cluster_shape=(15, 10), noise=1.0, rng=6
+        )
+        result = find_biclusters(
+            dataset.matrix, 1, delta=9.0, rng=7,
+            min_rows_for_batch=30, min_cols_for_batch=30,
+        )
+        (bic,) = result.biclusters
+        planted = dataset.embedded[0]
+        shared = len(set(bic.rows) & set(planted.rows))
+        assert shared >= 10
+        assert bic.score <= 9.0
+
+    def test_masking_changes_matrix_between_rounds(self):
+        rng = np.random.default_rng(8)
+        matrix = DataMatrix(rng.uniform(0, 10, size=(20, 10)))
+        result = find_biclusters(matrix, 3, delta=4.0, rng=9)
+        assert len(result.biclusters) == 3
+        assert isinstance(result, ChengChurchResult)
+        assert result.elapsed_seconds > 0.0
+        # Input must not be mutated by the masking step.
+        assert matrix == DataMatrix(matrix.values)
+
+    def test_validation(self):
+        matrix = DataMatrix(np.ones((4, 4)))
+        with pytest.raises(ValueError, match="n_biclusters"):
+            find_biclusters(matrix, 0, delta=1.0)
+        with pytest.raises(ValueError, match="delta"):
+            find_biclusters(matrix, 1, delta=-1.0)
+
+    def test_all_missing_rejected(self):
+        matrix = DataMatrix(np.full((3, 3), NAN))
+        with pytest.raises(ValueError, match="specified"):
+            find_biclusters(matrix, 1, delta=1.0)
+
+    def test_find_bicluster_direct(self):
+        values = perfect_block(10, 8)
+        bic = find_bicluster(values, delta=0.5)
+        assert bic.n_rows == 10
+        assert bic.n_cols == 8
+        assert bic.to_delta_cluster().n_rows == 10
+
+
+class TestFillMissing:
+    def test_fills_all_missing(self):
+        matrix = DataMatrix([[1.0, NAN], [NAN, 4.0]])
+        filled = fill_missing_with_random(matrix, rng=0)
+        assert filled.n_specified == 4
+        # Fill values stay inside the observed range.
+        assert filled.values.min() >= 1.0
+        assert filled.values.max() <= 4.0
+
+    def test_no_missing_is_identity(self):
+        matrix = DataMatrix([[1.0, 2.0]])
+        assert fill_missing_with_random(matrix, rng=0) == matrix
+
+    def test_explicit_range(self):
+        matrix = DataMatrix([[NAN, 5.0]])
+        filled = fill_missing_with_random(matrix, rng=0, fill_range=(0.0, 1.0))
+        assert 0.0 <= filled.values[0, 0] <= 1.0

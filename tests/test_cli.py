@@ -1,0 +1,138 @@
+"""End-to-end tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.data.io import load_clusters, load_matrix_npz, save_matrix_csv
+from repro.data.synthetic import generate_embedded
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    """Generate a small workload on disk via the CLI itself."""
+    matrix_path = tmp_path / "matrix.npz"
+    truth_path = tmp_path / "truth.txt"
+    code = main([
+        "generate", "synthetic",
+        "--rows", "150", "--cols", "30",
+        "--clusters", "4", "--cluster-rows", "15", "--cluster-cols", "10",
+        "--noise", "2", "--seed", "3",
+        "--out", str(matrix_path),
+        "--truth-out", str(truth_path),
+    ])
+    assert code == 0
+    return tmp_path, matrix_path, truth_path
+
+
+class TestGenerate:
+    def test_creates_matrix_and_truth(self, workspace):
+        __, matrix_path, truth_path = workspace
+        matrix = load_matrix_npz(matrix_path)
+        assert matrix.shape == (150, 30)
+        truth = load_clusters(truth_path)
+        assert len(truth) == 4
+
+    def test_movielens_kind(self, tmp_path, capsys):
+        out = tmp_path / "ratings.npz"
+        code = main([
+            "generate", "movielens",
+            "--rows", "60", "--cols", "80", "--clusters", "2",
+            "--missing", "0.15", "--seed", "0", "--out", str(out),
+        ])
+        assert code == 0
+        assert "movielens" in capsys.readouterr().out
+
+    def test_yeast_kind(self, tmp_path, capsys):
+        out = tmp_path / "yeast.npz"
+        code = main([
+            "generate", "yeast",
+            "--rows", "80", "--cols", "12", "--clusters", "2",
+            "--cluster-rows", "10", "--cluster-cols", "5",
+            "--seed", "0", "--out", str(out),
+        ])
+        assert code == 0
+        matrix = load_matrix_npz(out)
+        assert matrix.shape == (80, 12)
+
+
+class TestMineAndEvaluate:
+    def test_mine_writes_clusters(self, workspace, capsys):
+        tmp_path, matrix_path, __ = workspace
+        found_path = tmp_path / "found.txt"
+        code = main([
+            "mine", str(matrix_path),
+            "--target", "5.0", "--k", "6", "--restarts", "1",
+            "--reseed-rounds", "6", "--seed", "5",
+            "--out", str(found_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "delta-clusters" in out
+        found = load_clusters(found_path)
+        assert found, "expected mined clusters on disk"
+
+    def test_evaluate_with_truth(self, workspace, capsys):
+        tmp_path, matrix_path, truth_path = workspace
+        found_path = tmp_path / "found.txt"
+        main([
+            "mine", str(matrix_path),
+            "--target", "5.0", "--k", "6", "--restarts", "1",
+            "--reseed-rounds", "6", "--seed", "5",
+            "--out", str(found_path),
+        ])
+        capsys.readouterr()
+        code = main([
+            "evaluate", str(matrix_path), str(found_path),
+            "--truth", str(truth_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recall" in out
+        assert "precision" in out
+
+    def test_mine_from_csv(self, tmp_path, capsys):
+        dataset = generate_embedded(
+            80, 20, 2, cluster_shape=(12, 8), noise=1.5, rng=7
+        )
+        csv_path = tmp_path / "matrix.csv"
+        save_matrix_csv(csv_path, dataset.matrix, header=False)
+        code = main([
+            "mine", str(csv_path),
+            "--target", "4.0", "--k", "3", "--restarts", "1",
+            "--reseed-rounds", "4", "--seed", "1",
+        ])
+        assert code == 0
+
+    def test_unsupported_format(self, tmp_path):
+        bad = tmp_path / "matrix.xlsx"
+        bad.write_text("nope")
+        with pytest.raises(SystemExit, match="unsupported"):
+            main(["mine", str(bad), "--target", "1.0"])
+
+
+class TestPredict:
+    def test_predict_covered_cell(self, workspace, capsys):
+        tmp_path, matrix_path, truth_path = workspace
+        truth = load_clusters(truth_path)
+        row = truth[0].rows[0]
+        col = truth[0].cols[0]
+        code = main([
+            "predict", str(matrix_path), str(truth_path),
+            "--row", str(row), "--col", str(col),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "predicted" in out
+        assert "actual value" in out
+
+    def test_predict_uncovered_cell(self, workspace, capsys):
+        __, matrix_path, truth_path = workspace
+        truth = load_clusters(truth_path)
+        covered_rows = {r for c in truth for r in c.rows}
+        uncovered = next(r for r in range(150) if r not in covered_rows)
+        code = main([
+            "predict", str(matrix_path), str(truth_path),
+            "--row", str(uncovered), "--col", "0",
+        ])
+        assert code == 1
+        assert "no cluster covers" in capsys.readouterr().out

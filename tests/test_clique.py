@@ -1,0 +1,109 @@
+"""Unit tests for the CLIQUE subspace clustering substrate."""
+
+import numpy as np
+import pytest
+
+from repro.subspace.clique import clique
+
+NAN = float("nan")
+
+
+def planted_subspace_data(rng_seed=0, n_points=200):
+    """Points uniform in 4-D; 40% of them clumped in dims (0, 2)."""
+    rng = np.random.default_rng(rng_seed)
+    data = rng.uniform(0.0, 100.0, size=(n_points, 4))
+    members = rng.choice(n_points, size=int(0.4 * n_points), replace=False)
+    data[members, 0] = rng.normal(20.0, 1.5, size=members.size)
+    data[members, 2] = rng.normal(70.0, 1.5, size=members.size)
+    return data, set(int(i) for i in members)
+
+
+class TestValidation:
+    def test_tau_range(self):
+        with pytest.raises(ValueError, match="tau"):
+            clique(np.ones((4, 2)), xi=2, tau=0.0)
+        with pytest.raises(ValueError, match="tau"):
+            clique(np.ones((4, 2)), xi=2, tau=1.0)
+
+    def test_max_dims_validated(self):
+        with pytest.raises(ValueError, match="max_dims"):
+            clique(np.ones((4, 2)), xi=2, tau=0.5, max_dims=0)
+
+
+class TestOneDimensional:
+    def test_dense_bin_found(self):
+        rng = np.random.default_rng(1)
+        data = rng.uniform(0, 100, size=(100, 1))
+        data[:60, 0] = rng.normal(50.0, 1.0, size=60)
+        clusters = clique(data, xi=10, tau=0.2)
+        assert clusters, "expected at least one dense region"
+        biggest = max(clusters, key=lambda c: c.n_points)
+        assert biggest.dims == (0,)
+        assert biggest.n_points >= 55
+
+    def test_uniform_data_sparse_with_high_tau(self):
+        rng = np.random.default_rng(2)
+        data = rng.uniform(0, 1, size=(100, 2))
+        clusters = clique(data, xi=10, tau=0.5)
+        assert clusters == []
+
+
+class TestSubspaceDiscovery:
+    def test_planted_2d_subspace_found(self):
+        data, members = planted_subspace_data()
+        clusters = clique(data, xi=10, tau=0.1)
+        two_dim = [c for c in clusters if c.dims == (0, 2)]
+        assert two_dim, "expected a cluster in subspace (0, 2)"
+        best = max(two_dim, key=lambda c: c.n_points)
+        # The cluster's points are mostly the planted members.
+        overlap = len(best.points & members)
+        assert overlap / best.n_points > 0.9
+        assert overlap > 0.7 * len(members)
+
+    def test_no_spurious_high_dim_clusters(self):
+        data, __ = planted_subspace_data()
+        clusters = clique(data, xi=10, tau=0.1)
+        assert all(c.dimensionality <= 2 for c in clusters)
+
+    def test_max_dims_caps_ladder(self):
+        data, __ = planted_subspace_data()
+        clusters = clique(data, xi=10, tau=0.1, max_dims=1)
+        assert all(c.dimensionality == 1 for c in clusters)
+
+    def test_min_points_filter(self):
+        data, __ = planted_subspace_data()
+        few = clique(data, xi=10, tau=0.1, min_points=1000)
+        assert few == []
+
+
+class TestConnectivity:
+    def test_adjacent_bins_merge(self):
+        # Points spread across two adjacent dense bins form ONE cluster.
+        values = np.concatenate([
+            np.random.default_rng(3).uniform(39.0, 41.0, size=60),
+            np.random.default_rng(4).uniform(41.0, 43.0, size=60),
+            np.random.default_rng(5).uniform(0.0, 100.0, size=30),
+        ])
+        data = values[:, None]
+        clusters = clique(data, xi=25, tau=0.1)
+        dense_1d = [c for c in clusters if c.dims == (0,)]
+        assert len(dense_1d) == 1
+        assert dense_1d[0].n_points >= 110
+
+    def test_separated_bins_stay_apart(self):
+        values = np.concatenate([
+            np.random.default_rng(6).normal(10.0, 0.5, size=50),
+            np.random.default_rng(7).normal(90.0, 0.5, size=50),
+        ])
+        data = values[:, None]
+        clusters = clique(data, xi=10, tau=0.2)
+        dense_1d = [c for c in clusters if c.dims == (0,)]
+        assert len(dense_1d) == 2
+
+
+class TestMissingValues:
+    def test_missing_never_contributes(self):
+        data = np.array([[NAN], [NAN], [NAN], [1.0], [1.0]])
+        clusters = clique(data, xi=2, tau=0.3)
+        for cluster in clusters:
+            assert {0, 1, 2}.isdisjoint(cluster.points)

@@ -1,0 +1,105 @@
+"""White-box tests for CLIQUE's Apriori machinery."""
+
+import numpy as np
+import pytest
+
+from repro.subspace.clique import (
+    DenseUnit,
+    _all_subunits_dense,
+    _connect_units,
+    _generate_candidates,
+)
+
+
+def unit(*pairs):
+    return tuple(sorted(pairs))
+
+
+class TestCandidateGeneration:
+    def test_joins_shared_prefix_different_dims(self):
+        level = {
+            unit((0, 1)): frozenset({1, 2, 3}),
+            unit((1, 2)): frozenset({2, 3, 4}),
+        }
+        candidates = _generate_candidates(level)
+        assert unit((0, 1), (1, 2)) in candidates
+        parents = candidates[unit((0, 1), (1, 2))]
+        assert set(parents) == {unit((0, 1)), unit((1, 2))}
+
+    def test_same_dim_not_joined(self):
+        level = {
+            unit((0, 1)): frozenset({1}),
+            unit((0, 2)): frozenset({2}),
+        }
+        assert _generate_candidates(level) == {}
+
+    def test_two_dim_join_requires_shared_first_pair(self):
+        level = {
+            unit((0, 1), (1, 2)): frozenset({1, 2}),
+            unit((0, 1), (2, 3)): frozenset({2, 3}),
+            unit((1, 2), (2, 3)): frozenset({1, 3}),
+        }
+        candidates = _generate_candidates(level)
+        assert unit((0, 1), (1, 2), (2, 3)) in candidates
+
+    def test_no_duplicate_candidates(self):
+        level = {
+            unit((0, 1)): frozenset({1}),
+            unit((1, 1)): frozenset({1}),
+            unit((2, 1)): frozenset({1}),
+        }
+        candidates = _generate_candidates(level)
+        assert len(candidates) == 3  # the three pairs, each once
+
+
+class TestSubunitPruning:
+    def test_all_subunits_present(self):
+        level = {
+            unit((0, 1), (1, 2)): frozenset({1}),
+            unit((0, 1), (2, 3)): frozenset({1}),
+            unit((1, 2), (2, 3)): frozenset({1}),
+        }
+        key = unit((0, 1), (1, 2), (2, 3))
+        assert _all_subunits_dense(key, level)
+
+    def test_missing_subunit_prunes(self):
+        level = {
+            unit((0, 1), (1, 2)): frozenset({1}),
+            unit((0, 1), (2, 3)): frozenset({1}),
+        }
+        key = unit((0, 1), (1, 2), (2, 3))
+        assert not _all_subunits_dense(key, level)
+
+
+class TestConnectUnits:
+    def test_face_adjacent_merge(self):
+        units = {
+            unit((0, 1)): frozenset({1, 2}),
+            unit((0, 2)): frozenset({3}),
+            unit((0, 5)): frozenset({4}),
+        }
+        clusters = _connect_units(units, min_points=1)
+        sizes = sorted(len(c.points) for c in clusters)
+        assert sizes == [1, 3]
+
+    def test_diagonal_units_not_adjacent(self):
+        units = {
+            unit((0, 1), (1, 1)): frozenset({1}),
+            unit((0, 2), (1, 2)): frozenset({2}),
+        }
+        clusters = _connect_units(units, min_points=1)
+        assert len(clusters) == 2
+
+    def test_min_points_filters(self):
+        units = {unit((0, 1)): frozenset({1})}
+        assert _connect_units(units, min_points=2) == []
+
+    def test_cluster_units_recorded(self):
+        units = {
+            unit((0, 1)): frozenset({1}),
+            unit((0, 2)): frozenset({2}),
+        }
+        (cluster,) = _connect_units(units, min_points=1)
+        assert len(cluster.units) == 2
+        assert all(isinstance(u, DenseUnit) for u in cluster.units)
+        assert cluster.points == frozenset({1, 2})

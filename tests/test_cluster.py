@@ -1,0 +1,166 @@
+"""Unit tests for DeltaCluster (Definitions 3.1-3.2, Figure 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cluster import DeltaCluster
+from repro.core.matrix import DataMatrix
+
+NAN = float("nan")
+
+
+def figure3a_matrix() -> DataMatrix:
+    """The sparse 3x4 submatrix of Figure 3(a) -- NOT a 0.6-cluster."""
+    return DataMatrix(
+        [
+            [1.0, NAN, 3.0, NAN],
+            [NAN, 4.0, NAN, 5.0],
+            [NAN, 3.0, 4.0, NAN],
+        ]
+    )
+
+
+def figure3b_matrix() -> DataMatrix:
+    """The denser 3x4 submatrix of Figure 3(b) -- a 0.6-cluster."""
+    return DataMatrix(
+        [
+            [1.0, NAN, 3.0, 3.0],
+            [3.0, 4.0, 5.0, NAN],
+            [NAN, 3.0, 4.0, 4.0],
+        ]
+    )
+
+
+class TestFigure3Occupancy:
+    """The paper's alpha = 0.6 worked example."""
+
+    def test_figure3a_violates_alpha(self):
+        cluster = DeltaCluster(rows=(0, 1, 2), cols=(0, 1, 2, 3))
+        assert not cluster.occupancy_ok(figure3a_matrix(), alpha=0.6)
+
+    def test_figure3b_satisfies_alpha(self):
+        cluster = DeltaCluster(rows=(0, 1, 2), cols=(0, 1, 2, 3))
+        assert cluster.occupancy_ok(figure3b_matrix(), alpha=0.6)
+
+    def test_alpha_zero_always_passes(self):
+        cluster = DeltaCluster(rows=(0, 1, 2), cols=(0, 1, 2, 3))
+        assert cluster.occupancy_ok(figure3a_matrix(), alpha=0.0)
+
+    def test_alpha_validation(self):
+        cluster = DeltaCluster(rows=(0,), cols=(0,))
+        with pytest.raises(ValueError, match="alpha"):
+            cluster.occupancy_ok(figure3a_matrix(), alpha=1.5)
+
+
+class TestStructure:
+    def test_indices_sorted_and_deduped(self):
+        cluster = DeltaCluster(rows=(3, 1, 3), cols=(2, 0))
+        assert cluster.rows == (1, 3)
+        assert cluster.cols == (0, 2)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(IndexError):
+            DeltaCluster(rows=(-1,), cols=(0,))
+
+    def test_empty_cluster(self):
+        cluster = DeltaCluster(rows=(), cols=(0, 1))
+        assert cluster.is_empty
+        assert cluster.n_rows == 0
+
+    def test_equality_and_hash(self):
+        a = DeltaCluster((0, 1), (2,))
+        b = DeltaCluster((1, 0), (2,))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != DeltaCluster((0,), (2,))
+
+    def test_out_of_range_detected_on_evaluation(self):
+        matrix = DataMatrix([[1.0, 2.0]])
+        cluster = DeltaCluster(rows=(5,), cols=(0,))
+        with pytest.raises(IndexError):
+            cluster.volume(matrix)
+
+
+class TestVolume:
+    def test_fully_specified(self):
+        matrix = DataMatrix(np.ones((4, 5)))
+        cluster = DeltaCluster(rows=(0, 1), cols=(0, 1, 2))
+        assert cluster.volume(matrix) == 6
+
+    def test_missing_reduce_volume(self):
+        matrix = figure3b_matrix()
+        cluster = DeltaCluster(rows=(0, 1, 2), cols=(0, 1, 2, 3))
+        assert cluster.volume(matrix) == 9  # 12 cells, 3 missing
+
+    def test_empty_cluster_volume_zero(self):
+        matrix = DataMatrix([[1.0]])
+        assert DeltaCluster((), (0,)).volume(matrix) == 0
+
+
+class TestResidue:
+    def test_perfect_cluster(self):
+        rows = np.array([0.0, 5.0, -2.0])
+        cols = np.array([10.0, 20.0, 30.0, 40.0])
+        matrix = DataMatrix(rows[:, None] + cols[None, :])
+        cluster = DeltaCluster((0, 1, 2), (0, 1, 2, 3))
+        assert cluster.residue(matrix) == pytest.approx(0.0, abs=1e-9)
+
+    def test_empty_cluster_residue_zero(self):
+        matrix = DataMatrix([[1.0]])
+        assert DeltaCluster((), ()).residue(matrix) == 0.0
+
+    def test_residues_shape(self):
+        matrix = DataMatrix(np.arange(12, dtype=float).reshape(3, 4))
+        cluster = DeltaCluster((0, 2), (1, 3))
+        assert cluster.residues(matrix).shape == (2, 2)
+
+
+class TestDiameter:
+    def test_single_point_zero(self):
+        matrix = DataMatrix([[1.0, 2.0], [5.0, 9.0]])
+        cluster = DeltaCluster((0,), (0, 1))
+        assert cluster.diameter(matrix) == 0.0
+
+    def test_two_points(self):
+        matrix = DataMatrix([[0.0, 0.0], [3.0, 4.0]])
+        cluster = DeltaCluster((0, 1), (0, 1))
+        assert cluster.diameter(matrix) == pytest.approx(5.0)
+
+    def test_missing_dimension_ignored(self):
+        matrix = DataMatrix([[0.0, NAN], [3.0, NAN]])
+        cluster = DeltaCluster((0, 1), (0, 1))
+        assert cluster.diameter(matrix) == pytest.approx(3.0)
+
+    def test_empty_zero(self):
+        matrix = DataMatrix([[1.0]])
+        assert DeltaCluster((), ()).diameter(matrix) == 0.0
+
+
+class TestOverlap:
+    def test_no_overlap(self):
+        a = DeltaCluster((0, 1), (0, 1))
+        b = DeltaCluster((2, 3), (0, 1))
+        assert a.overlap_entries(b) == 0
+        assert a.overlap_fraction(b) == 0.0
+
+    def test_partial_overlap(self):
+        a = DeltaCluster((0, 1), (0, 1))
+        b = DeltaCluster((1, 2), (1, 2))
+        assert a.overlap_entries(b) == 1
+        assert a.overlap_fraction(b) == pytest.approx(0.25)
+
+    def test_containment_gives_full_fraction(self):
+        small = DeltaCluster((0,), (0, 1))
+        big = DeltaCluster((0, 1, 2), (0, 1, 2))
+        assert small.overlap_fraction(big) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        a = DeltaCluster((0, 1, 2), (0, 1))
+        b = DeltaCluster((1, 2), (1, 2, 3))
+        assert a.overlap_fraction(b) == b.overlap_fraction(a)
+
+    def test_contains(self):
+        cluster = DeltaCluster((0, 2), (1,))
+        assert cluster.contains(0, 1)
+        assert not cluster.contains(1, 1)
+        assert not cluster.contains(0, 0)

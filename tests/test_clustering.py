@@ -1,0 +1,109 @@
+"""Unit tests for the Clustering aggregate."""
+
+import numpy as np
+import pytest
+
+from repro.core.cluster import DeltaCluster
+from repro.core.clustering import Clustering
+from repro.core.matrix import DataMatrix
+
+
+def make_matrix() -> DataMatrix:
+    rng = np.random.default_rng(0)
+    return DataMatrix(rng.uniform(0, 10, size=(6, 5)))
+
+
+class TestContainer:
+    def test_len_iter_getitem(self):
+        matrix = make_matrix()
+        clusters = [DeltaCluster((0, 1), (0, 1)), DeltaCluster((2, 3), (2, 3))]
+        clustering = Clustering(matrix, clusters)
+        assert len(clustering) == 2
+        assert list(clustering) == clusters
+        assert clustering[1] == clusters[1]
+
+    def test_out_of_range_cluster_rejected(self):
+        matrix = make_matrix()
+        with pytest.raises(IndexError):
+            Clustering(matrix, [DeltaCluster((99,), (0,))])
+
+
+class TestAggregates:
+    def test_average_residue_empty(self):
+        assert Clustering(make_matrix(), []).average_residue() == 0.0
+
+    def test_average_residue_mean_of_clusters(self):
+        matrix = make_matrix()
+        clusters = [DeltaCluster((0, 1), (0, 1)), DeltaCluster((2, 3, 4), (1, 2, 3))]
+        clustering = Clustering(matrix, clusters)
+        expected = np.mean([c.residue(matrix) for c in clusters])
+        assert clustering.average_residue() == pytest.approx(expected)
+
+    def test_total_volume(self):
+        matrix = make_matrix()
+        clustering = Clustering(
+            matrix, [DeltaCluster((0, 1), (0, 1)), DeltaCluster((0,), (0, 1, 2))]
+        )
+        assert clustering.total_volume() == 4 + 3
+
+    def test_coverage_matrix(self):
+        matrix = make_matrix()
+        clustering = Clustering(matrix, [DeltaCluster((0, 1), (0,))])
+        covered = clustering.coverage_matrix()
+        assert covered[0, 0] and covered[1, 0]
+        assert covered.sum() == 2
+
+    def test_row_col_coverage(self):
+        matrix = make_matrix()  # 6 rows x 5 cols
+        clustering = Clustering(matrix, [DeltaCluster((0, 1, 2), (0, 1))])
+        assert clustering.row_coverage() == pytest.approx(0.5)
+        assert clustering.col_coverage() == pytest.approx(0.4)
+
+    def test_max_pairwise_overlap(self):
+        matrix = make_matrix()
+        clustering = Clustering(
+            matrix,
+            [
+                DeltaCluster((0, 1), (0, 1)),
+                DeltaCluster((1, 2), (1, 2)),
+                DeltaCluster((4, 5), (3, 4)),
+            ],
+        )
+        assert clustering.max_pairwise_overlap() == pytest.approx(0.25)
+
+    def test_max_overlap_single_cluster_zero(self):
+        clustering = Clustering(make_matrix(), [DeltaCluster((0,), (0,))])
+        assert clustering.max_pairwise_overlap() == 0.0
+
+
+class TestReporting:
+    def test_summary_keys(self):
+        matrix = make_matrix()
+        clustering = Clustering(matrix, [DeltaCluster((0, 1), (0, 1, 2))])
+        (row,) = clustering.summary()
+        assert row["volume"] == 6
+        assert row["n_rows"] == 2
+        assert row["n_cols"] == 3
+        assert row["residue"] >= 0.0
+        assert row["diameter"] >= 0.0
+
+    def test_drop_empty(self):
+        matrix = make_matrix()
+        clustering = Clustering(
+            matrix, [DeltaCluster((), ()), DeltaCluster((0,), (0,))]
+        )
+        assert len(clustering.drop_empty()) == 1
+
+    def test_sorted_by_residue(self):
+        matrix = make_matrix()
+        clustering = Clustering(
+            matrix,
+            [DeltaCluster((0, 1, 2, 3), (0, 1, 2, 3)), DeltaCluster((0, 1), (0, 1))],
+        )
+        ordered = clustering.sorted_by_residue()
+        residues = [c.residue(matrix) for c in ordered]
+        assert residues == sorted(residues)
+
+    def test_repr(self):
+        clustering = Clustering(make_matrix(), [])
+        assert "k=0" in repr(clustering)

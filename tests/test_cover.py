@@ -1,0 +1,102 @@
+"""Unit tests for CLIQUE's minimal-description phase."""
+
+import numpy as np
+import pytest
+
+from repro.subspace.clique import DenseUnit, SubspaceCluster, clique
+from repro.subspace.cover import Rectangle, minimal_description, rectangle_covers
+
+
+def make_cluster(dims, keys):
+    units = tuple(
+        DenseUnit(key=key, points=frozenset({0})) for key in sorted(keys)
+    )
+    points = frozenset({0})
+    return SubspaceCluster(dims=dims, points=points, units=units)
+
+
+class TestRectangle:
+    def test_contains(self):
+        rect = Rectangle(dims=(0, 2), lo=(1, 3), hi=(2, 4))
+        assert rect.contains(((0, 1), (2, 3)))
+        assert rect.contains(((0, 2), (2, 4)))
+        assert not rect.contains(((0, 3), (2, 3)))
+        assert not rect.contains(((1, 1), (2, 3)))  # wrong dims
+
+    def test_units_enumeration(self):
+        rect = Rectangle(dims=(0,), lo=(2,), hi=(4,))
+        assert rect.units() == [((0, 2),), ((0, 3),), ((0, 4),)]
+        assert rect.n_units == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="equal length"):
+            Rectangle(dims=(0, 1), lo=(0,), hi=(1, 1))
+        with pytest.raises(ValueError, match="empty"):
+            Rectangle(dims=(0,), lo=(3,), hi=(1,))
+
+    def test_rectangle_covers(self):
+        rects = [Rectangle((0,), (0,), (1,)), Rectangle((0,), (3,), (3,))]
+        assert rectangle_covers(rects, [((0, 0),), ((0, 1),), ((0, 3),)])
+        assert not rectangle_covers(rects, [((0, 2),)])
+
+
+class TestMinimalDescription:
+    def test_single_run_one_rectangle(self):
+        keys = [((0, i),) for i in range(4)]
+        cluster = make_cluster((0,), keys)
+        rects = minimal_description(cluster)
+        assert len(rects) == 1
+        assert rects[0].lo == (0,)
+        assert rects[0].hi == (3,)
+
+    def test_l_shape_needs_two_rectangles(self):
+        # Units: a 2x2 block plus a tail -> at least two rectangles.
+        keys = [
+            ((0, 0), (1, 0)), ((0, 0), (1, 1)),
+            ((0, 1), (1, 0)), ((0, 1), (1, 1)),
+            ((0, 2), (1, 0)),
+        ]
+        cluster = make_cluster((0, 1), keys)
+        rects = minimal_description(cluster)
+        assert 1 < len(rects) <= 3
+        assert rectangle_covers(rects, keys)
+        # No rectangle strays outside the cluster.
+        key_set = set(keys)
+        for rect in rects:
+            assert all(unit in key_set for unit in rect.units())
+
+    def test_full_block_is_one_rectangle(self):
+        keys = [
+            ((0, i), (1, j)) for i in range(3) for j in range(2)
+        ]
+        cluster = make_cluster((0, 1), keys)
+        rects = minimal_description(cluster)
+        assert len(rects) == 1
+        assert rects[0].n_units == 6
+
+    def test_empty_cluster(self):
+        cluster = make_cluster((0,), [])
+        assert minimal_description(cluster) == []
+
+    def test_cover_is_exact_on_clique_output(self):
+        rng = np.random.default_rng(0)
+        data = rng.uniform(0, 100, size=(150, 2))
+        data[:70, 0] = rng.normal(30.0, 4.0, size=70)
+        data[:70, 1] = rng.normal(60.0, 4.0, size=70)
+        clusters = clique(data, xi=8, tau=0.05)
+        assert clusters
+        for cluster in clusters:
+            rects = minimal_description(cluster)
+            keys = [unit.key for unit in cluster.units]
+            assert rectangle_covers(rects, keys)
+            key_set = set(keys)
+            for rect in rects:
+                assert all(unit in key_set for unit in rect.units())
+
+    def test_redundant_rectangles_removed(self):
+        # A solid 3-run: greedy from different seeds could emit an
+        # interior rectangle; the removal pass must keep it minimal.
+        keys = [((0, i),) for i in range(5)]
+        cluster = make_cluster((0,), keys)
+        rects = minimal_description(cluster)
+        assert len(rects) == 1

@@ -1,0 +1,133 @@
+"""Unit tests for the Section-4.4 alternative algorithm (Figure 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.matrix import DataMatrix
+from repro.data.microarray import figure4_matrix
+from repro.subspace.derived import (
+    AlternativeResult,
+    alternative_delta_clusters,
+    attribute_graph,
+    derived_matrix,
+    subspace_cluster_to_delta,
+)
+from repro.subspace.clique import SubspaceCluster
+
+NAN = float("nan")
+
+
+class TestDerivedMatrix:
+    def test_dimensionality_quadratic(self):
+        matrix = DataMatrix(np.ones((3, 5)))
+        derived, pairs = derived_matrix(matrix)
+        assert derived.n_cols == 10  # 5 * 4 / 2
+        assert len(pairs) == 10
+        assert pairs[0] == (0, 1)
+        assert pairs[-1] == (3, 4)
+
+    def test_difference_values(self):
+        matrix = DataMatrix([[5.0, 2.0, 1.0]])
+        derived, pairs = derived_matrix(matrix)
+        expected = {(0, 1): 3.0, (0, 2): 4.0, (1, 2): 1.0}
+        for j, pair in enumerate(pairs):
+            assert derived.values[0, j] == pytest.approx(expected[pair])
+
+    def test_missing_propagates(self):
+        matrix = DataMatrix([[1.0, NAN, 3.0]])
+        derived, pairs = derived_matrix(matrix)
+        by_pair = dict(zip(pairs, derived.values[0]))
+        assert np.isnan(by_pair[(0, 1)])
+        assert np.isnan(by_pair[(1, 2)])
+        assert by_pair[(0, 2)] == pytest.approx(-2.0)
+
+    def test_figure7_derived_values(self):
+        """Spot-check Figure 7(a): derived column 1I1D for VPS8 is 281,
+        1I2B for CYS3 is 103."""
+        matrix = figure4_matrix()
+        derived, pairs = derived_matrix(matrix)
+        col_1i1d = pairs.index((0, 2))  # CH1I - CH1D
+        col_1i2b = pairs.index((0, 4))  # CH1I - CH2B
+        vps8, cys3 = 1, 7
+        assert derived.values[vps8, col_1i1d] == pytest.approx(281.0)
+        assert derived.values[cys3, col_1i2b] == pytest.approx(103.0)
+
+    def test_labels_derived(self):
+        matrix = DataMatrix([[1.0, 2.0]], col_labels=["A", "B"])
+        derived, __ = derived_matrix(matrix)
+        assert derived.col_labels == ("A-B",)
+
+    def test_needs_two_columns(self):
+        with pytest.raises(ValueError, match="2 attributes"):
+            derived_matrix(DataMatrix([[1.0], [2.0]]))
+
+
+class TestAttributeGraph:
+    def test_edges_from_pairs(self):
+        pairs = [(0, 1), (0, 2), (1, 2), (2, 3)]
+        graph = attribute_graph((0, 1, 2), pairs)
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(0, 2)
+        assert graph.has_edge(1, 2)
+        assert not graph.has_edge(2, 3)
+
+
+class TestSubspaceToDelta:
+    def test_clique_maps_to_cluster(self):
+        pairs = [(0, 1), (0, 2), (1, 2)]
+        sc = SubspaceCluster(dims=(0, 1, 2), points=frozenset({4, 7, 9}), units=())
+        clusters = subspace_cluster_to_delta(sc, pairs, min_rows=2, min_cols=3)
+        assert len(clusters) == 1
+        assert clusters[0].rows == (4, 7, 9)
+        assert clusters[0].cols == (0, 1, 2)
+
+    def test_too_few_rows_dropped(self):
+        pairs = [(0, 1)]
+        sc = SubspaceCluster(dims=(0,), points=frozenset({1}), units=())
+        assert subspace_cluster_to_delta(sc, pairs, min_rows=2) == []
+
+    def test_min_cols_filters_small_cliques(self):
+        pairs = [(0, 1), (2, 3)]
+        sc = SubspaceCluster(dims=(0, 1), points=frozenset({1, 2}), units=())
+        clusters = subspace_cluster_to_delta(sc, pairs, min_rows=2, min_cols=3)
+        assert clusters == []
+
+
+class TestEndToEnd:
+    def test_recovers_planted_shifting_cluster(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0.0, 500.0, size=(60, 6))
+        # Plant a shifting-coherent cluster: rows 0-19 on columns 0-2.
+        rows = np.arange(20)
+        row_offsets = rng.uniform(-40, 40, size=20)
+        col_offsets = np.array([0.0, 30.0, -20.0])
+        values[np.ix_(rows, [0, 1, 2])] = (
+            200.0 + row_offsets[:, None] + col_offsets[None, :]
+        )
+        result = alternative_delta_clusters(
+            values, xi=20, tau=0.15, min_rows=5, min_cols=3, max_residue=15.0
+        )
+        assert isinstance(result, AlternativeResult)
+        assert result.n_derived_attributes == 15
+        matches = [
+            c for c in result.clusters
+            if set(c.cols) == {0, 1, 2} and len(set(c.rows) & set(range(20))) >= 15
+        ]
+        assert matches, "expected the planted delta-cluster to be recovered"
+
+    def test_residue_verification_filters(self):
+        rng = np.random.default_rng(1)
+        values = rng.uniform(0.0, 100.0, size=(40, 5))
+        strict = alternative_delta_clusters(
+            values, xi=5, tau=0.05, min_rows=3, min_cols=3, max_residue=0.01
+        )
+        for cluster in strict.clusters:
+            assert cluster.residue(DataMatrix(values)) <= 0.01
+
+    def test_timings_populated(self):
+        rng = np.random.default_rng(2)
+        values = rng.uniform(0, 10, size=(30, 4))
+        result = alternative_delta_clusters(values, xi=4, tau=0.1)
+        assert result.elapsed_seconds >= result.clique_seconds
+        assert result.derive_seconds >= 0.0
+        assert result.map_seconds >= 0.0

@@ -1,0 +1,66 @@
+"""Unit tests for the Erlang volume distribution (Section 6.2)."""
+
+import numpy as np
+import pytest
+
+from repro.data.distributions import erlang, erlang_volumes, variance_level_to_shape
+
+
+class TestErlang:
+    def test_moments(self):
+        rng = np.random.default_rng(0)
+        shape, rate = 4, 0.5
+        samples = erlang(shape, rate, 200_000, rng)
+        assert samples.mean() == pytest.approx(shape / rate, rel=0.02)
+        assert samples.var() == pytest.approx(shape / rate ** 2, rel=0.05)
+
+    def test_positive(self):
+        rng = np.random.default_rng(1)
+        assert (erlang(2, 1.0, 1000, rng) > 0).all()
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="shape"):
+            erlang(0, 1.0, 10, rng)
+        with pytest.raises(ValueError, match="rate"):
+            erlang(1, 0.0, 10, rng)
+
+
+class TestVarianceLevels:
+    def test_level_zero_constant(self):
+        rng = np.random.default_rng(2)
+        volumes = erlang_volumes(300.0, 0, 50, rng)
+        assert (volumes == 300.0).all()
+
+    def test_higher_level_more_spread(self):
+        rng_a = np.random.default_rng(3)
+        rng_b = np.random.default_rng(3)
+        narrow = erlang_volumes(300.0, 1, 5000, rng_a)
+        wide = erlang_volumes(300.0, 5, 5000, rng_b)
+        assert wide.std() > 2 * narrow.std()
+
+    def test_mean_preserved_across_levels(self):
+        rng = np.random.default_rng(4)
+        for level in (1, 2, 3, 4):
+            volumes = erlang_volumes(300.0, level, 100_000, rng)
+            assert volumes.mean() == pytest.approx(300.0, rel=0.05)
+
+    def test_minimum_floor(self):
+        rng = np.random.default_rng(5)
+        volumes = erlang_volumes(10.0, 5, 10_000, rng, minimum=4.0)
+        assert volumes.min() >= 4.0
+
+    def test_shape_mapping(self):
+        assert variance_level_to_shape(5) == 1
+        assert variance_level_to_shape(1) == 25
+        with pytest.raises(ValueError, match="constant"):
+            variance_level_to_shape(0)
+        with pytest.raises(ValueError, match="<= 5"):
+            variance_level_to_shape(6)
+
+    def test_validation(self):
+        rng = np.random.default_rng(6)
+        with pytest.raises(ValueError, match="mean"):
+            erlang_volumes(0.0, 1, 10, rng)
+        with pytest.raises(ValueError, match="size"):
+            erlang_volumes(10.0, 1, -1, rng)

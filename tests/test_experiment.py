@@ -1,0 +1,96 @@
+"""Unit tests for the experiment harness."""
+
+import pytest
+
+from repro.core.constraints import Constraints
+from repro.eval.experiment import (
+    ExperimentConfig,
+    TrialResult,
+    generate_workload,
+    run_trial,
+    run_trials,
+)
+
+import numpy as np
+
+
+SMALL = ExperimentConfig(
+    n_rows=60,
+    n_cols=15,
+    n_embedded=2,
+    embedded_shape=(8, 6),
+    noise=1.0,
+    k=2,
+    p=0.2,
+    max_iterations=15,
+)
+
+
+class TestConfig:
+    def test_overrides_copy(self):
+        other = SMALL.with_overrides(k=5, ordering="fixed")
+        assert other.k == 5
+        assert other.ordering == "fixed"
+        assert SMALL.k == 2  # original untouched
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            SMALL.k = 9
+
+
+class TestWorkload:
+    def test_generate_matches_config(self):
+        dataset = generate_workload(SMALL, np.random.default_rng(0))
+        assert dataset.matrix.shape == (60, 15)
+        assert dataset.n_embedded == 2
+
+    def test_erlang_volumes_used(self):
+        config = SMALL.with_overrides(
+            embedded_shape=None, embedded_mean_volume=40.0,
+            embedded_variance_level=2.0,
+        )
+        dataset = generate_workload(config, np.random.default_rng(1))
+        assert dataset.n_embedded == 2
+
+
+class TestRunTrial:
+    def test_record_fields(self):
+        result = run_trial(SMALL, rng=0)
+        assert isinstance(result, TrialResult)
+        record = result.as_record()
+        assert set(record) == {
+            "iterations", "time_s", "residue", "recall",
+            "precision", "volume", "actions",
+        }
+        assert record["iterations"] >= 1
+        assert 0.0 <= record["recall"] <= 1.0
+        assert 0.0 <= record["precision"] <= 1.0
+
+    def test_trial_deterministic(self):
+        a = run_trial(SMALL, rng=3).as_record()
+        b = run_trial(SMALL, rng=3).as_record()
+        for key in ("iterations", "residue", "recall", "precision", "volume"):
+            assert a[key] == b[key]
+
+    def test_constraints_forwarded(self):
+        config = SMALL.with_overrides(
+            constraints=Constraints(min_rows=3, min_cols=3)
+        )
+        result = run_trial(config, rng=1)
+        assert result.n_iterations >= 1
+
+    def test_seed_volumes(self):
+        config = SMALL.with_overrides(seed_mean_volume=48.0)
+        result = run_trial(config, rng=2)
+        assert result.n_iterations >= 1
+
+
+class TestRunTrials:
+    def test_averaging(self):
+        summary = run_trials(SMALL, n_trials=2, base_seed=0)
+        assert summary["iterations"] >= 1.0
+        assert 0.0 <= summary["recall"] <= 1.0
+
+    def test_n_trials_validated(self):
+        with pytest.raises(ValueError, match="n_trials"):
+            run_trials(SMALL, n_trials=0)

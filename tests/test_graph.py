@@ -1,0 +1,129 @@
+"""Unit tests for the graph substrate (union-find, Bron-Kerbosch)."""
+
+import pytest
+
+from repro.subspace.graph import Graph, UnionFind, maximal_cliques
+
+
+class TestUnionFind:
+    def test_singletons(self):
+        forest = UnionFind()
+        forest.add("a")
+        forest.add("b")
+        assert forest.find("a") != forest.find("b")
+        assert len(forest) == 2
+
+    def test_union_merges(self):
+        forest = UnionFind()
+        forest.union(1, 2)
+        forest.union(2, 3)
+        assert forest.find(1) == forest.find(3)
+
+    def test_groups(self):
+        forest = UnionFind()
+        forest.union(1, 2)
+        forest.union(3, 4)
+        forest.add(5)
+        groups = sorted(sorted(g) for g in forest.groups())
+        assert groups == [[1, 2], [3, 4], [5]]
+
+    def test_find_inserts_new(self):
+        forest = UnionFind()
+        assert forest.find("x") == "x"
+        assert "x" in forest
+
+    def test_idempotent_union(self):
+        forest = UnionFind()
+        forest.union(1, 2)
+        forest.union(1, 2)
+        assert len(forest.groups()) == 1
+
+
+class TestGraph:
+    def test_add_edge_creates_vertices(self):
+        g = Graph()
+        g.add_edge("a", "b")
+        assert g.vertices == {"a", "b"}
+        assert g.has_edge("a", "b")
+        assert g.has_edge("b", "a")
+
+    def test_no_self_loops(self):
+        g = Graph()
+        with pytest.raises(ValueError, match="self-loop"):
+            g.add_edge(1, 1)
+
+    def test_edge_count(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        g.add_edge(1, 2)  # duplicate
+        assert g.n_edges() == 2
+
+    def test_neighbors(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(1, 3)
+        assert g.neighbors(1) == {2, 3}
+        assert g.neighbors(2) == {1}
+
+    def test_isolated_vertex(self):
+        g = Graph()
+        g.add_vertex("solo")
+        assert g.neighbors("solo") == frozenset()
+        assert len(g) == 1
+
+
+class TestMaximalCliques:
+    def build(self, edges, vertices=()):
+        g = Graph()
+        for v in vertices:
+            g.add_vertex(v)
+        for a, b in edges:
+            g.add_edge(a, b)
+        return g
+
+    def test_triangle(self):
+        g = self.build([(1, 2), (2, 3), (1, 3)])
+        assert maximal_cliques(g) == [frozenset({1, 2, 3})]
+
+    def test_triangle_plus_pendant(self):
+        g = self.build([(1, 2), (2, 3), (1, 3), (3, 4)])
+        cliques = set(maximal_cliques(g))
+        assert cliques == {frozenset({1, 2, 3}), frozenset({3, 4})}
+
+    def test_min_size_filter(self):
+        g = self.build([(1, 2), (2, 3), (1, 3), (3, 4)])
+        cliques = maximal_cliques(g, min_size=3)
+        assert cliques == [frozenset({1, 2, 3})]
+
+    def test_figure7_shape(self):
+        """The paper's Figure 7(b): conditions 2I, 2D(=1D), 2B form a
+        clique; implying a delta-cluster on those three conditions."""
+        # Vertices: 1I, 1D, 2B plus a couple of stray edges.
+        g = self.build([
+            ("1I", "1D"), ("1I", "2B"), ("1D", "2B"),  # the clique
+            ("1B", "2I"),
+        ])
+        cliques = set(maximal_cliques(g, min_size=3))
+        assert frozenset({"1I", "1D", "2B"}) in cliques
+
+    def test_disconnected_components(self):
+        g = self.build([(1, 2), (3, 4)])
+        assert set(maximal_cliques(g)) == {frozenset({1, 2}), frozenset({3, 4})}
+
+    def test_complete_graph(self):
+        vertices = list(range(6))
+        edges = [(a, b) for a in vertices for b in vertices if a < b]
+        g = self.build(edges)
+        assert maximal_cliques(g) == [frozenset(vertices)]
+
+    def test_empty_graph(self):
+        assert maximal_cliques(Graph()) == []
+
+    def test_isolated_vertices_are_cliques(self):
+        g = self.build([], vertices=["a", "b"])
+        assert set(maximal_cliques(g)) == {frozenset({"a"}), frozenset({"b"})}
+
+    def test_min_size_validated(self):
+        with pytest.raises(ValueError, match="min_size"):
+            maximal_cliques(Graph(), min_size=0)

@@ -1,0 +1,73 @@
+"""Unit tests for CLIQUE's grid discretization."""
+
+import numpy as np
+import pytest
+
+from repro.core.matrix import DataMatrix
+from repro.subspace.grid import MISSING_BIN, discretize
+
+NAN = float("nan")
+
+
+class TestDiscretize:
+    def test_uniform_bins(self):
+        data = np.array([[0.0], [2.5], [5.0], [7.5], [10.0]])
+        part = discretize(data, xi=4)
+        assert part.bins[:, 0].tolist() == [0, 1, 2, 3, 3]
+
+    def test_max_value_lands_in_last_bin(self):
+        data = np.array([[0.0], [10.0]])
+        part = discretize(data, xi=5)
+        assert part.bins[1, 0] == 4
+
+    def test_constant_dimension(self):
+        data = np.array([[3.0, 1.0], [3.0, 2.0]])
+        part = discretize(data, xi=4)
+        assert (part.bins[:, 0] == 0).all()
+
+    def test_missing_marked(self):
+        data = np.array([[1.0, NAN], [2.0, 5.0]])
+        part = discretize(data, xi=2)
+        assert part.bins[0, 1] == MISSING_BIN
+        assert part.bins[1, 1] != MISSING_BIN
+
+    def test_fully_missing_dimension(self):
+        data = np.array([[NAN], [NAN]])
+        part = discretize(data, xi=3)
+        assert (part.bins[:, 0] == MISSING_BIN).all()
+
+    def test_accepts_data_matrix(self):
+        part = discretize(DataMatrix([[1.0, 2.0], [3.0, 4.0]]), xi=2)
+        assert part.n_points == 2
+        assert part.n_dims == 2
+
+    def test_xi_validated(self):
+        with pytest.raises(ValueError, match="xi"):
+            discretize(np.ones((2, 2)), xi=0)
+
+    def test_ndim_validated(self):
+        with pytest.raises(ValueError, match="2-D"):
+            discretize(np.ones(3), xi=2)
+
+    def test_bin_interval(self):
+        data = np.array([[0.0], [10.0]])
+        part = discretize(data, xi=5)
+        lo, hi = part.bin_interval(0, 2)
+        assert lo == pytest.approx(4.0)
+        assert hi == pytest.approx(6.0)
+
+    def test_bin_interval_bounds_checked(self):
+        part = discretize(np.array([[0.0], [1.0]]), xi=2)
+        with pytest.raises(IndexError):
+            part.bin_interval(0, 5)
+
+    def test_values_map_back_into_their_bins(self):
+        rng = np.random.default_rng(0)
+        data = rng.uniform(-5, 5, size=(50, 3))
+        part = discretize(data, xi=7)
+        for i in range(50):
+            for d in range(3):
+                lo, hi = part.bin_interval(d, int(part.bins[i, d]))
+                assert lo - 1e-9 <= data[i, d] <= hi + 1e-9 or (
+                    part.bins[i, d] == part.xi - 1 and data[i, d] <= hi + 1e-6
+                )

@@ -1,0 +1,132 @@
+"""Unit tests for recall/precision and cluster matching (Section 6.2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cluster import DeltaCluster
+from repro.core.clustering import Clustering
+from repro.core.matrix import DataMatrix
+from repro.eval.metrics import (
+    clustering_report,
+    coverage_sets,
+    jaccard_entries,
+    match_clusters,
+    recall_precision,
+)
+
+
+class TestCoverage:
+    def test_coverage_sets(self):
+        covered = coverage_sets([DeltaCluster((0, 1), (0,))], (3, 2))
+        assert covered.sum() == 2
+        assert covered[0, 0] and covered[1, 0]
+
+    def test_union_of_clusters(self):
+        clusters = [DeltaCluster((0,), (0,)), DeltaCluster((0,), (1,))]
+        covered = coverage_sets(clusters, (1, 2))
+        assert covered.all()
+
+
+class TestRecallPrecision:
+    def test_perfect_match(self):
+        clusters = [DeltaCluster((0, 1), (0, 1))]
+        scores = recall_precision(clusters, clusters, (4, 4))
+        assert scores.recall == 1.0
+        assert scores.precision == 1.0
+        assert scores.f1 == 1.0
+
+    def test_disjoint(self):
+        embedded = [DeltaCluster((0,), (0,))]
+        discovered = [DeltaCluster((3,), (3,))]
+        scores = recall_precision(embedded, discovered, (4, 4))
+        assert scores.recall == 0.0
+        assert scores.precision == 0.0
+        assert scores.f1 == 0.0
+
+    def test_partial(self):
+        embedded = [DeltaCluster((0, 1), (0, 1))]   # 4 cells
+        discovered = [DeltaCluster((1, 2), (1, 2))]  # 4 cells, 1 shared
+        scores = recall_precision(embedded, discovered, (4, 4))
+        assert scores.recall == pytest.approx(0.25)
+        assert scores.precision == pytest.approx(0.25)
+        assert scores.shared_cells == 1
+
+    def test_empty_embedded_conventions(self):
+        discovered = [DeltaCluster((0,), (0,))]
+        scores = recall_precision([], discovered, (2, 2))
+        assert scores.recall == 1.0
+        assert scores.precision == 0.0
+
+    def test_empty_discovered_conventions(self):
+        embedded = [DeltaCluster((0,), (0,))]
+        scores = recall_precision(embedded, [], (2, 2))
+        assert scores.recall == 0.0
+        assert scores.precision == 1.0
+
+    def test_overlapping_clusters_counted_once(self):
+        embedded = [DeltaCluster((0, 1), (0, 1)), DeltaCluster((0, 1), (0, 1))]
+        discovered = [DeltaCluster((0, 1), (0, 1))]
+        scores = recall_precision(embedded, discovered, (3, 3))
+        assert scores.embedded_cells == 4
+        assert scores.recall == 1.0
+
+
+class TestJaccardAndMatching:
+    def test_jaccard_identity(self):
+        c = DeltaCluster((0, 1), (0, 1, 2))
+        assert jaccard_entries(c, c) == 1.0
+
+    def test_jaccard_disjoint(self):
+        assert jaccard_entries(
+            DeltaCluster((0,), (0,)), DeltaCluster((1,), (1,))
+        ) == 0.0
+
+    def test_jaccard_empty(self):
+        assert jaccard_entries(DeltaCluster((), ()), DeltaCluster((), ())) == 0.0
+
+    def test_greedy_matching_one_to_one(self):
+        embedded = [
+            DeltaCluster((0, 1), (0, 1)),
+            DeltaCluster((4, 5), (2, 3)),
+        ]
+        discovered = [
+            DeltaCluster((4, 5), (2, 3)),      # matches embedded[1]
+            DeltaCluster((0, 1), (0, 1, 2)),    # matches embedded[0]
+        ]
+        matches = match_clusters(embedded, discovered)
+        assert matches[0] == (0, 1, pytest.approx(4 / 6))
+        assert matches[1] == (1, 0, pytest.approx(1.0))
+
+    def test_unmatched_embedded_marked_none(self):
+        embedded = [DeltaCluster((0,), (0,)), DeltaCluster((3,), (3,))]
+        discovered = [DeltaCluster((0,), (0,))]
+        matches = match_clusters(embedded, discovered)
+        assert matches[0][1] == 0
+        assert matches[1][1] is None
+        assert matches[1][2] == 0.0
+
+    def test_no_double_assignment(self):
+        embedded = [DeltaCluster((0, 1), (0, 1)), DeltaCluster((0, 1), (0,))]
+        discovered = [DeltaCluster((0, 1), (0, 1))]
+        matches = match_clusters(embedded, discovered)
+        assigned = [m[1] for m in matches if m[1] is not None]
+        assert len(assigned) == len(set(assigned)) == 1
+
+
+class TestReport:
+    def test_report_without_ground_truth(self):
+        matrix = DataMatrix(np.random.default_rng(0).normal(size=(6, 4)))
+        clustering = Clustering(matrix, [DeltaCluster((0, 1), (0, 1))])
+        report = clustering_report(clustering)
+        assert set(report) == {
+            "average_residue", "total_volume", "row_coverage", "col_coverage",
+        }
+
+    def test_report_with_ground_truth(self):
+        matrix = DataMatrix(np.random.default_rng(1).normal(size=(6, 4)))
+        cluster = DeltaCluster((0, 1), (0, 1))
+        clustering = Clustering(matrix, [cluster])
+        report = clustering_report(clustering, [cluster])
+        assert report["recall"] == 1.0
+        assert report["precision"] == 1.0
+        assert report["f1"] == 1.0

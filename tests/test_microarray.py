@@ -1,0 +1,96 @@
+"""Unit tests for the yeast micro-array data (Figure 4 + generator)."""
+
+import pytest
+
+from repro.data.microarray import (
+    FIGURE4_CONDITIONS,
+    FIGURE4_GENES,
+    FIGURE4_VALUES,
+    figure4_cluster,
+    figure4_matrix,
+    generate_yeast_like,
+)
+
+
+class TestFigure4Constants:
+    def test_shape(self):
+        assert len(FIGURE4_GENES) == 10
+        assert len(FIGURE4_CONDITIONS) == 5
+        assert len(FIGURE4_VALUES) == 10
+        assert all(len(row) == 5 for row in FIGURE4_VALUES)
+
+    def test_spot_values_from_paper(self):
+        matrix = figure4_matrix()
+        genes = dict(zip(FIGURE4_GENES, range(10)))
+        conditions = dict(zip(FIGURE4_CONDITIONS, range(5)))
+        assert matrix.values[genes["CTFC3"], conditions["CH1I"]] == 4392.0
+        assert matrix.values[genes["VPS8"], conditions["CH1D"]] == 120.0
+        assert matrix.values[genes["NTG1"], conditions["CH2B"]] == 228.0
+
+    def test_labels(self):
+        matrix = figure4_matrix()
+        assert matrix.row_labels == FIGURE4_GENES
+        assert matrix.col_labels == FIGURE4_CONDITIONS
+
+
+class TestFigure4Cluster:
+    def test_members(self):
+        cluster = figure4_cluster()
+        matrix = figure4_matrix()
+        row_names = [matrix.row_labels[i] for i in cluster.rows]
+        col_names = [matrix.col_labels[j] for j in cluster.cols]
+        assert row_names == ["VPS8", "EFB1", "CYS3"]
+        assert col_names == ["CH1I", "CH1D", "CH2B"]
+
+    def test_perfect(self):
+        cluster = figure4_cluster()
+        assert cluster.residue(figure4_matrix()) == pytest.approx(0.0, abs=1e-9)
+        assert cluster.volume(figure4_matrix()) == 9
+
+    def test_vps8_entry_reconstruction(self):
+        # Section 3: d_VPS8,CH1I = 273 - 347 ... wait, the paper writes
+        # d_iJ + d_Ij - d_IJ = 273 + 347 - 219 = 401.
+        assert 273 + 347 - 219 == 401
+
+
+class TestYeastGenerator:
+    def test_default_shape_statistics(self):
+        dataset = generate_yeast_like(
+            n_genes=300, n_conditions=17, n_modules=5, module_shape=(20, 8), rng=0
+        )
+        assert dataset.matrix.shape == (300, 17)
+        assert dataset.n_genes == 300
+        assert dataset.n_conditions == 17
+        assert len(dataset.modules) == 5
+
+    def test_value_range_like_scaled_data(self):
+        dataset = generate_yeast_like(
+            n_genes=200, n_conditions=17, n_modules=3, module_shape=(15, 8), rng=1
+        )
+        specified = dataset.matrix.values[dataset.matrix.mask]
+        assert specified.min() > -300.0
+        assert specified.max() < 900.0
+
+    def test_modules_coherent(self):
+        dataset = generate_yeast_like(
+            n_genes=200, n_conditions=17, n_modules=3,
+            module_shape=(15, 8), noise=5.0, rng=2,
+        )
+        for module in dataset.modules:
+            # Mean |residue| of a noisy module ~ noise * 0.8, far below
+            # the background (uniform over 0..600 -> residue > 50).
+            assert module.residue(dataset.matrix) < 15.0
+
+    def test_missing_fraction(self):
+        dataset = generate_yeast_like(
+            n_genes=100, n_conditions=10, n_modules=2,
+            module_shape=(10, 5), missing_fraction=0.25, rng=3,
+        )
+        assert dataset.matrix.density == pytest.approx(0.75, abs=0.05)
+
+    def test_deterministic(self):
+        a = generate_yeast_like(n_genes=50, n_conditions=8, n_modules=2,
+                                module_shape=(8, 4), rng=11)
+        b = generate_yeast_like(n_genes=50, n_conditions=8, n_modules=2,
+                                module_shape=(8, 4), rng=11)
+        assert a.matrix == b.matrix

@@ -1,0 +1,103 @@
+"""Unit tests for the multi-restart mining front end."""
+
+import pytest
+
+from repro.core.mining import MiningResult, mine_delta_clusters
+from repro.data.synthetic import generate_embedded
+from repro.eval.metrics import recall_precision
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_embedded(
+        200, 40, 5, cluster_shape=(20, 14), noise=2.5, rng=3
+    )
+
+
+class TestValidation:
+    def test_target_positive(self, workload):
+        with pytest.raises(ValueError, match="residue_target"):
+            mine_delta_clusters(workload.matrix, residue_target=0.0)
+
+    def test_restarts_positive(self, workload):
+        with pytest.raises(ValueError, match="n_restarts"):
+            mine_delta_clusters(
+                workload.matrix, residue_target=1.0, n_restarts=0
+            )
+
+    def test_overlap_range(self, workload):
+        with pytest.raises(ValueError, match="max_overlap"):
+            mine_delta_clusters(
+                workload.matrix, residue_target=1.0, max_overlap=1.5
+            )
+
+    def test_accepts_raw_array(self, workload):
+        result = mine_delta_clusters(
+            workload.matrix.values, residue_target=5.0,
+            k=4, n_restarts=1, reseed_rounds=2, rng=0,
+        )
+        assert isinstance(result, MiningResult)
+
+
+class TestMining:
+    def test_all_returned_clusters_meet_contract(self, workload):
+        target = 2 * workload.embedded_average_residue()
+        result = mine_delta_clusters(
+            workload.matrix, residue_target=target,
+            k=6, n_restarts=2, reseed_rounds=6, min_volume=40, rng=1,
+        )
+        for cluster in result.clustering:
+            assert cluster.residue(workload.matrix) <= target
+            assert cluster.n_rows >= 3
+            assert cluster.n_cols >= 3
+            assert cluster.volume(workload.matrix) >= 40
+
+    def test_recovers_planted_structure(self, workload):
+        target = 2 * workload.embedded_average_residue()
+        result = mine_delta_clusters(
+            workload.matrix, residue_target=target,
+            k=6, n_restarts=2, reseed_rounds=8, rng=1,
+        )
+        scores = recall_precision(
+            workload.embedded, list(result.clustering), workload.matrix.shape
+        )
+        assert scores.precision > 0.8
+        assert scores.recall > 0.5
+
+    def test_deduplication_drops_overlaps(self, workload):
+        target = 2 * workload.embedded_average_residue()
+        result = mine_delta_clusters(
+            workload.matrix, residue_target=target,
+            k=6, n_restarts=3, reseed_rounds=6, max_overlap=0.5, rng=2,
+        )
+        clusters = list(result.clustering)
+        for i, first in enumerate(clusters):
+            for second in clusters[i + 1:]:
+                assert first.overlap_fraction(second) <= 0.5
+        assert result.n_pooled >= len(clusters)
+        assert result.n_deduplicated == result.n_pooled - len(clusters)
+
+    def test_max_clusters_cap(self, workload):
+        target = 2 * workload.embedded_average_residue()
+        result = mine_delta_clusters(
+            workload.matrix, residue_target=target,
+            k=6, n_restarts=2, reseed_rounds=6, max_clusters=2, rng=3,
+        )
+        assert len(result.clustering) <= 2
+
+    def test_clusters_sorted_by_volume(self, workload):
+        target = 2 * workload.embedded_average_residue()
+        result = mine_delta_clusters(
+            workload.matrix, residue_target=target,
+            k=6, n_restarts=2, reseed_rounds=6, rng=4,
+        )
+        volumes = [c.volume(workload.matrix) for c in result.clustering]
+        assert volumes == sorted(volumes, reverse=True)
+
+    def test_runs_recorded_and_timed(self, workload):
+        result = mine_delta_clusters(
+            workload.matrix, residue_target=5.0,
+            k=4, n_restarts=2, reseed_rounds=2, rng=5,
+        )
+        assert len(result.runs) == 2
+        assert result.elapsed_seconds > 0.0

@@ -1,0 +1,137 @@
+"""Unit tests for the MovieLens-like ratings generator (Section 6.1.1)."""
+
+import numpy as np
+import pytest
+
+from repro.data.movielens import DEFAULT_GENRES, generate_ratings
+
+
+def small_dataset(**overrides):
+    defaults = dict(
+        n_users=120,
+        n_movies=200,
+        n_groups=3,
+        group_size=25,
+        signature_movies=30,
+        density=0.15,
+        min_ratings=10,
+        rng=0,
+    )
+    defaults.update(overrides)
+    return generate_ratings(**defaults)
+
+
+class TestValidation:
+    def test_empty_matrix(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            generate_ratings(n_users=0, n_movies=10)
+
+    def test_groups_fit(self):
+        with pytest.raises(ValueError, match="disjoint groups"):
+            generate_ratings(n_users=10, n_movies=20, n_groups=3, group_size=5)
+
+    def test_density_range(self):
+        with pytest.raises(ValueError, match="density"):
+            small_dataset(density=0.0)
+
+    def test_signature_genres_range(self):
+        with pytest.raises(ValueError, match="signature_genres"):
+            small_dataset(signature_genres=0)
+
+
+class TestShapeStatistics:
+    def test_shape(self):
+        dataset = small_dataset()
+        assert dataset.matrix.shape == (120, 200)
+        assert dataset.n_users == 120
+        assert dataset.n_movies == 200
+
+    def test_rating_scale(self):
+        dataset = small_dataset()
+        specified = dataset.matrix.values[dataset.matrix.mask]
+        assert specified.min() >= 1.0
+        assert specified.max() <= 10.0
+
+    def test_integer_ratings_by_default(self):
+        dataset = small_dataset()
+        specified = dataset.matrix.values[dataset.matrix.mask]
+        assert np.allclose(specified, np.round(specified))
+
+    def test_continuous_ratings_option(self):
+        dataset = small_dataset(integer_ratings=False)
+        specified = dataset.matrix.values[dataset.matrix.mask]
+        assert not np.allclose(specified, np.round(specified))
+
+    def test_min_ratings_per_user(self):
+        dataset = small_dataset(min_ratings=15)
+        counts = dataset.matrix.mask.sum(axis=1)
+        assert (counts >= 15).all()
+
+    def test_density_near_target(self):
+        dataset = small_dataset(density=0.15)
+        assert dataset.matrix.density == pytest.approx(0.15, abs=0.05)
+
+    def test_density_floor_from_planted_structure(self):
+        # The forced group blocks set a floor: asking for less density
+        # than the planted structure needs yields the floor, not less.
+        dataset = small_dataset(density=0.01)
+        forced = sum(g.entry_count() for g in dataset.groups)
+        assert dataset.matrix.n_specified >= forced
+
+    def test_deterministic(self):
+        a = small_dataset(rng=7)
+        b = small_dataset(rng=7)
+        assert a.matrix == b.matrix
+
+
+class TestHiddenStructure:
+    def test_groups_disjoint(self):
+        dataset = small_dataset()
+        seen = set()
+        for group in dataset.groups:
+            assert seen.isdisjoint(group.rows)
+            seen.update(group.rows)
+
+    def test_group_assignments_consistent(self):
+        dataset = small_dataset()
+        for g, cluster in enumerate(dataset.groups):
+            for user in cluster.rows:
+                assert dataset.user_groups[user] == g
+
+    def test_group_clusters_fully_rated(self):
+        # Members always rate their signature-genre movies, so the planted
+        # cluster is fully specified (trivially meets any alpha).
+        dataset = small_dataset()
+        for cluster in dataset.groups:
+            sub_mask = dataset.matrix.mask[np.ix_(cluster.rows, cluster.cols)]
+            assert sub_mask.all()
+
+    def test_group_coherence_is_strong(self):
+        # Within a group, ratings differ by per-user offsets only (plus
+        # rounding): the delta-cluster residue must be far below the
+        # residue of a random same-shaped submatrix.
+        dataset = small_dataset(rng=3)
+        cluster = dataset.groups[0]
+        group_residue = cluster.residue(dataset.matrix)
+        assert group_residue < 0.8  # rounding + noise only
+        rng = np.random.default_rng(0)
+        random_rows = rng.choice(120, size=cluster.n_rows, replace=False)
+        from repro.core.cluster import DeltaCluster
+
+        random_cluster = DeltaCluster(random_rows, cluster.cols)
+        random_residue = random_cluster.residue(dataset.matrix)
+        assert group_residue < 0.6 * random_residue
+
+    def test_genre_metadata(self):
+        dataset = small_dataset()
+        assert dataset.genre_names == DEFAULT_GENRES
+        assert dataset.movie_genres.shape == (200,)
+        assert dataset.movie_genres.min() >= 0
+        assert dataset.movie_genres.max() < len(DEFAULT_GENRES)
+
+    def test_ungrouped_users_marked(self):
+        dataset = small_dataset()
+        grouped = {u for g in dataset.groups for u in g.rows}
+        for user in range(120):
+            if user not in grouped:
+                assert dataset.user_groups[user] == -1

@@ -1,0 +1,83 @@
+"""Unit tests for the Pearson-R baseline and its documented failure mode."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.pearson import correlation_groups, pairwise_pearson, pearson_r
+from repro.core.matrix import DataMatrix
+
+NAN = float("nan")
+
+
+class TestPearsonR:
+    def test_perfect_positive(self):
+        assert pearson_r([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson_r([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_shift_invariant(self):
+        a = np.array([1.0, 5.0, 2.0, 8.0])
+        assert pearson_r(a, a + 100.0) == pytest.approx(1.0)
+
+    def test_constant_vector_zero(self):
+        assert pearson_r([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_missing_handled_jointly(self):
+        a = [1.0, 2.0, NAN, 4.0]
+        b = [2.0, 4.0, 6.0, NAN]
+        # Joint support = indices 0, 1: perfectly correlated.
+        assert pearson_r(a, b) == pytest.approx(1.0)
+
+    def test_too_few_joint_entries(self):
+        assert pearson_r([1.0, NAN], [NAN, 2.0]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="length"):
+            pearson_r([1.0], [1.0, 2.0])
+
+    def test_paper_genre_example(self):
+        """Section 3's motivating failure: strong within-genre coherence,
+        near-zero global Pearson R."""
+        viewer1 = np.array([8.0, 7.0, 9.0, 2.0, 2.0, 3.0])
+        viewer2 = np.array([2.0, 1.0, 3.0, 8.0, 8.0, 9.0])
+        global_r = pearson_r(viewer1, viewer2)
+        assert abs(global_r) < 0.999  # far from +1 despite local coherence
+        assert global_r < 0  # actually anti-correlated globally
+        # Within each genre the viewers agree perfectly (offset only).
+        assert pearson_r(viewer1[:3], viewer2[:3]) == pytest.approx(1.0)
+        assert pearson_r(viewer1[3:], viewer2[3:]) == pytest.approx(1.0)
+
+
+class TestPairwise:
+    def test_symmetric_with_unit_diagonal(self):
+        rng = np.random.default_rng(0)
+        matrix = DataMatrix(rng.normal(size=(5, 8)))
+        r = pairwise_pearson(matrix)
+        assert np.allclose(r, r.T)
+        assert np.allclose(np.diag(r), 1.0)
+
+    def test_values_in_range(self):
+        rng = np.random.default_rng(1)
+        r = pairwise_pearson(rng.normal(size=(6, 10)))
+        assert (r <= 1.0 + 1e-9).all()
+        assert (r >= -1.0 - 1e-9).all()
+
+
+class TestCorrelationGroups:
+    def test_groups_partition_rows(self):
+        rng = np.random.default_rng(2)
+        matrix = rng.normal(size=(10, 6))
+        groups = correlation_groups(matrix, threshold=0.99)
+        flattened = sorted(i for group in groups for i in group)
+        assert flattened == list(range(10))
+
+    def test_shifted_rows_grouped(self):
+        base = np.array([1.0, 5.0, 2.0, 8.0, 3.0])
+        matrix = np.vstack([base, base + 10, base - 3, -base])
+        groups = correlation_groups(matrix, threshold=0.95)
+        assert tuple(sorted(groups[0])) == (0, 1, 2)
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError, match="threshold"):
+            correlation_groups(np.ones((2, 2)), threshold=2.0)

@@ -1,0 +1,175 @@
+"""Unit tests for prediction/imputation from delta-clusters."""
+
+import numpy as np
+import pytest
+
+from repro.core.cluster import DeltaCluster
+from repro.core.clustering import Clustering
+from repro.core.matrix import DataMatrix
+from repro.core.predict import impute, predict_entry, prediction_error
+
+NAN = float("nan")
+
+
+def perfect_matrix(n=6, m=5, rng_seed=0):
+    """Whole matrix follows the additive model: every prediction exact."""
+    rng = np.random.default_rng(rng_seed)
+    rows = rng.uniform(-50, 50, size=n)
+    cols = rng.uniform(-50, 50, size=m)
+    return DataMatrix(100.0 + rows[:, None] + cols[None, :])
+
+
+class TestPredictEntry:
+    def test_exact_on_perfect_cluster(self):
+        matrix = perfect_matrix()
+        cluster = DeltaCluster(range(6), range(5))
+        for row, col in ((0, 0), (3, 2), (5, 4)):
+            predicted = predict_entry(matrix, cluster, row, col)
+            assert predicted == pytest.approx(matrix.values[row, col])
+
+    def test_paper_intro_example(self):
+        """Section 1: viewers (1,2,3,5), (2,3,4,6), (3,4,5,7); the first
+        two rate a new movie 2 and 3 -> the third is projected to 4."""
+        ratings = DataMatrix([
+            [1.0, 2.0, 3.0, 5.0, 2.0],
+            [2.0, 3.0, 4.0, 6.0, 3.0],
+            [3.0, 4.0, 5.0, 7.0, NAN],
+        ])
+        cluster = DeltaCluster(rows=(0, 1, 2), cols=(0, 1, 2, 3, 4))
+        projected = predict_entry(ratings, cluster, 2, 4)
+        assert projected == pytest.approx(4.0)
+
+    def test_holds_out_target_by_default(self):
+        matrix = perfect_matrix()
+        values = matrix.values.copy()
+        values[2, 2] = 999.0  # corrupt one cell
+        corrupted = DataMatrix(values)
+        cluster = DeltaCluster(range(6), range(5))
+        # With hold-out, the corruption cannot echo into its own prediction.
+        held_out = predict_entry(corrupted, cluster, 2, 2)
+        assert abs(held_out - matrix.values[2, 2]) < abs(999.0 - matrix.values[2, 2])
+
+    def test_include_target_echoes(self):
+        matrix = perfect_matrix()
+        cluster = DeltaCluster(range(6), range(5))
+        with_target = predict_entry(matrix, cluster, 1, 1, exclude_target=False)
+        assert with_target == pytest.approx(matrix.values[1, 1])
+
+    def test_uncovered_cell_rejected(self):
+        matrix = perfect_matrix()
+        cluster = DeltaCluster((0, 1), (0, 1))
+        with pytest.raises(ValueError, match="not covered"):
+            predict_entry(matrix, cluster, 5, 4)
+
+    def test_no_data_rejected(self):
+        matrix = DataMatrix([[NAN, NAN], [NAN, 1.0]])
+        cluster = DeltaCluster((0, 1), (0, 1))
+        with pytest.raises(ValueError, match="no specified data"):
+            predict_entry(matrix, cluster, 0, 0)
+
+
+class TestImpute:
+    def test_single_hole_filled_exactly(self):
+        matrix = perfect_matrix()
+        values = matrix.values.copy()
+        values[1, 2] = np.nan
+        sparse = DataMatrix(values)
+        clustering = Clustering(sparse, [DeltaCluster(range(6), range(5))])
+        filled = impute(sparse, clustering)
+        assert filled.n_specified == 30
+        assert filled.values[1, 2] == pytest.approx(matrix.values[1, 2])
+
+    def test_multiple_holes_filled_approximately(self):
+        # A second hole leaves the cross block incomplete, so the
+        # estimator carries an O(spread / block-size) bias.
+        matrix = perfect_matrix()
+        values = matrix.values.copy()
+        values[1, 2] = np.nan
+        values[4, 0] = np.nan
+        sparse = DataMatrix(values)
+        clustering = Clustering(sparse, [DeltaCluster(range(6), range(5))])
+        filled = impute(sparse, clustering)
+        assert filled.n_specified == 30
+        assert filled.values[1, 2] == pytest.approx(
+            matrix.values[1, 2], abs=5.0
+        )
+        assert filled.values[4, 0] == pytest.approx(
+            matrix.values[4, 0], abs=5.0
+        )
+
+    def test_uncovered_stays_missing(self):
+        matrix = perfect_matrix()
+        values = matrix.values.copy()
+        values[5, 4] = np.nan
+        sparse = DataMatrix(values)
+        clustering = Clustering(sparse, [DeltaCluster((0, 1), (0, 1))])
+        filled = impute(sparse, clustering)
+        assert np.isnan(filled.values[5, 4])
+
+    def test_clip(self):
+        values = np.full((3, 3), 9.0)
+        values[0, 0] = np.nan
+        values[1, :] = 1.0
+        sparse = DataMatrix(values)
+        clustering = Clustering(sparse, [DeltaCluster(range(3), range(3))])
+        filled = impute(sparse, clustering, clip=(1.0, 10.0))
+        assert 1.0 <= filled.values[0, 0] <= 10.0
+
+    def test_clip_validated(self):
+        matrix = perfect_matrix()
+        clustering = Clustering(matrix, [])
+        with pytest.raises(ValueError, match="clip"):
+            impute(matrix, clustering, clip=(5.0, 1.0))
+
+    def test_original_untouched(self):
+        matrix = perfect_matrix()
+        values = matrix.values.copy()
+        values[0, 0] = np.nan
+        sparse = DataMatrix(values)
+        clustering = Clustering(sparse, [DeltaCluster(range(6), range(5))])
+        impute(sparse, clustering)
+        assert np.isnan(sparse.values[0, 0])
+
+    def test_weighted_average_across_clusters(self):
+        matrix = perfect_matrix()
+        values = matrix.values.copy()
+        values[2, 2] = np.nan
+        sparse = DataMatrix(values)
+        clustering = Clustering(sparse, [
+            DeltaCluster(range(6), range(5)),
+            DeltaCluster(range(4), range(4)),
+        ])
+        filled = impute(sparse, clustering)
+        assert filled.values[2, 2] == pytest.approx(matrix.values[2, 2])
+
+
+class TestPredictionError:
+    def test_near_zero_on_perfect_cluster(self):
+        matrix = perfect_matrix()
+        cluster = DeltaCluster(range(6), range(5))
+        assert prediction_error(matrix, cluster) == pytest.approx(0.0, abs=1e-9)
+
+    def test_large_on_junk_cluster(self):
+        rng = np.random.default_rng(1)
+        matrix = DataMatrix(rng.uniform(0, 100, size=(10, 8)))
+        cluster = DeltaCluster(range(10), range(8))
+        assert prediction_error(matrix, cluster, rng=rng) > 5.0
+
+    def test_sampling_cap(self):
+        matrix = perfect_matrix(20, 15, rng_seed=2)
+        cluster = DeltaCluster(range(20), range(15))
+        error = prediction_error(
+            matrix, cluster, rng=np.random.default_rng(0), max_cells=10
+        )
+        assert error == pytest.approx(0.0, abs=1e-9)
+
+    def test_explicit_sample(self):
+        matrix = perfect_matrix()
+        cluster = DeltaCluster(range(6), range(5))
+        error = prediction_error(matrix, cluster, sample=[(0, 0), (1, 1)])
+        assert error == pytest.approx(0.0, abs=1e-9)
+
+    def test_empty_cluster_rejected(self):
+        matrix = perfect_matrix()
+        with pytest.raises(ValueError, match="empty"):
+            prediction_error(matrix, DeltaCluster((), ()))

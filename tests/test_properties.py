@@ -1,0 +1,281 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These pin down the algebra the whole system rests on: residue invariances,
+gain identities, metric ranges, and round-trip laws.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.baselines.pearson import pearson_r
+from repro.core.actions import evaluate_toggle
+from repro.core.cluster import DeltaCluster
+from repro.core.matrix import DataMatrix
+from repro.core.residue import (
+    compute_bases,
+    mean_abs_residue,
+    mean_squared_residue,
+    residue_matrix,
+)
+from repro.eval.metrics import jaccard_entries, recall_precision
+
+
+def finite_matrices(min_side=2, max_side=8):
+    side = st.integers(min_side, max_side)
+    return side.flatmap(
+        lambda n: side.flatmap(
+            lambda m: arrays(
+                np.float64,
+                (n, m),
+                elements=st.floats(
+                    min_value=-1e6, max_value=1e6,
+                    allow_nan=False, allow_infinity=False,
+                ),
+            )
+        )
+    )
+
+
+def matrices_with_missing(min_side=2, max_side=7):
+    """Matrices where each entry is either finite or NaN (missing)."""
+    side = st.integers(min_side, max_side)
+    return side.flatmap(
+        lambda n: side.flatmap(
+            lambda m: arrays(
+                np.float64,
+                (n, m),
+                elements=st.one_of(
+                    st.floats(
+                        min_value=-1e6, max_value=1e6,
+                        allow_nan=False, allow_infinity=False,
+                    ),
+                    st.just(float("nan")),
+                ),
+            )
+        )
+    )
+
+
+class TestResidueProperties:
+    @given(finite_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_residue_non_negative(self, sub):
+        assert mean_abs_residue(sub) >= 0.0
+        assert mean_squared_residue(sub) >= 0.0
+
+    @given(finite_matrices(), st.floats(-1e5, 1e5, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_global_shift_invariance(self, sub, shift):
+        base = mean_abs_residue(sub)
+        assert mean_abs_residue(sub + shift) == pytest.approx(
+            base, rel=1e-6, abs=1e-6
+        )
+
+    @given(finite_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_row_and_col_shift_invariance(self, sub):
+        rng = np.random.default_rng(0)
+        base = mean_abs_residue(sub)
+        shifted = (
+            sub
+            + rng.uniform(-100, 100, size=(sub.shape[0], 1))
+            + rng.uniform(-100, 100, size=(1, sub.shape[1]))
+        )
+        assert mean_abs_residue(shifted) == pytest.approx(
+            base, rel=1e-6, abs=1e-5
+        )
+
+    @given(finite_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_permutation_invariance(self, sub):
+        rng = np.random.default_rng(1)
+        base = mean_abs_residue(sub)
+        permuted = sub[rng.permutation(sub.shape[0])][
+            :, rng.permutation(sub.shape[1])
+        ]
+        assert mean_abs_residue(permuted) == pytest.approx(
+            base, rel=1e-9, abs=1e-9
+        )
+
+    @given(matrices_with_missing())
+    @settings(max_examples=60, deadline=None)
+    def test_missing_residues_are_zero(self, sub):
+        res = residue_matrix(sub)
+        missing = np.isnan(sub)
+        assert (res[missing] == 0.0).all()
+        assert np.isfinite(res).all()
+
+    @given(matrices_with_missing())
+    @settings(max_examples=60, deadline=None)
+    def test_bases_finite_and_volume_consistent(self, sub):
+        bases = compute_bases(sub)
+        assert np.isfinite(bases.row).all()
+        assert np.isfinite(bases.col).all()
+        assert np.isfinite(bases.grand)
+        assert bases.volume == int((~np.isnan(sub)).sum())
+        assert bases.volume == bases.row_counts.sum() == bases.col_counts.sum()
+
+    @given(finite_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_squared_mean_dominates_squared_abs_mean(self, sub):
+        # Jensen: mean(r^2) >= mean(|r|)^2.
+        assert mean_squared_residue(sub) >= mean_abs_residue(sub) ** 2 - 1e-9
+
+
+class TestToggleProperties:
+    @given(matrices_with_missing(min_side=3, max_side=7), st.randoms())
+    @settings(max_examples=40, deadline=None)
+    def test_toggle_matches_recompute(self, values, pyrandom):
+        n, m = values.shape
+        rng = np.random.default_rng(pyrandom.randint(0, 2**31))
+        row_member = rng.random(n) < 0.5
+        col_member = rng.random(m) < 0.5
+        kind = "row" if pyrandom.random() < 0.5 else "col"
+        index = pyrandom.randrange(n if kind == "row" else m)
+        new_res, new_vol = evaluate_toggle(
+            values, row_member, col_member, kind, index
+        )
+        toggled_rows = row_member.copy()
+        toggled_cols = col_member.copy()
+        if kind == "row":
+            toggled_rows[index] = ~toggled_rows[index]
+        else:
+            toggled_cols[index] = ~toggled_cols[index]
+        rows = np.flatnonzero(toggled_rows)
+        cols = np.flatnonzero(toggled_cols)
+        if rows.size == 0 or cols.size == 0:
+            assert new_res == 0.0
+            assert new_vol == 0
+        else:
+            sub = values[np.ix_(rows, cols)]
+            assert new_res == pytest.approx(
+                mean_abs_residue(sub), rel=1e-9, abs=1e-9
+            )
+            assert new_vol == int((~np.isnan(sub)).sum())
+
+
+class TestMetricProperties:
+    cluster_strategy = st.builds(
+        DeltaCluster,
+        st.sets(st.integers(0, 9), min_size=1, max_size=5),
+        st.sets(st.integers(0, 9), min_size=1, max_size=5),
+    )
+
+    @given(st.lists(cluster_strategy, max_size=4),
+           st.lists(cluster_strategy, max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_recall_precision_in_unit_range(self, embedded, discovered):
+        scores = recall_precision(embedded, discovered, (10, 10))
+        assert 0.0 <= scores.recall <= 1.0
+        assert 0.0 <= scores.precision <= 1.0
+        assert 0.0 <= scores.f1 <= 1.0
+
+    @given(st.lists(cluster_strategy, min_size=1, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_self_comparison_is_perfect(self, clusters):
+        scores = recall_precision(clusters, clusters, (10, 10))
+        assert scores.recall == 1.0
+        assert scores.precision == 1.0
+
+    @given(cluster_strategy, cluster_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_jaccard_symmetric_bounded(self, a, b):
+        assert jaccard_entries(a, b) == jaccard_entries(b, a)
+        assert 0.0 <= jaccard_entries(a, b) <= 1.0
+
+    @given(st.lists(cluster_strategy, min_size=1, max_size=3),
+           st.lists(cluster_strategy, min_size=1, max_size=3))
+    @settings(max_examples=40, deadline=None)
+    def test_swap_duality(self, embedded, discovered):
+        forward = recall_precision(embedded, discovered, (10, 10))
+        backward = recall_precision(discovered, embedded, (10, 10))
+        assert forward.recall == pytest.approx(backward.precision)
+        assert forward.precision == pytest.approx(backward.recall)
+
+
+class TestPearsonProperties:
+    vectors = arrays(
+        np.float64, (6,),
+        elements=st.floats(-1e3, 1e3, allow_nan=False, allow_infinity=False),
+    )
+
+    @given(vectors, vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_bounded(self, a, b):
+        r = pearson_r(a, b)
+        assert -1.0 - 1e-9 <= r <= 1.0 + 1e-9
+
+    @given(vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_self_correlation(self, a):
+        r = pearson_r(a, a)
+        # Either perfectly correlated or degenerate-constant (0).
+        assert r == pytest.approx(1.0) or r == 0.0
+
+    @given(vectors, st.floats(-100, 100, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_shift_invariance(self, a, shift):
+        assert pearson_r(a, a + shift) == pytest.approx(1.0) or pearson_r(
+            a, a + shift
+        ) == 0.0
+
+
+class TestPredictionProperties:
+    @given(st.integers(3, 7), st.integers(3, 6), st.integers(0, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_cross_estimator_exact_on_perfect_clusters(self, n, m, seed):
+        from repro.core.cluster import DeltaCluster
+        from repro.core.predict import predict_entry
+
+        rng = np.random.default_rng(seed)
+        rows = rng.uniform(-100, 100, size=n)
+        cols = rng.uniform(-100, 100, size=m)
+        matrix = DataMatrix(rng.uniform(-10, 10) + rows[:, None] + cols[None, :])
+        cluster = DeltaCluster(range(n), range(m))
+        i = int(rng.integers(0, n))
+        j = int(rng.integers(0, m))
+        predicted = predict_entry(matrix, cluster, i, j)
+        assert predicted == pytest.approx(
+            float(matrix.values[i, j]), rel=1e-9, abs=1e-6
+        )
+
+    @given(st.integers(4, 7), st.integers(4, 6), st.integers(0, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_impute_fills_single_hole_exactly(self, n, m, seed):
+        from repro.core.cluster import DeltaCluster
+        from repro.core.clustering import Clustering
+        from repro.core.predict import impute
+
+        rng = np.random.default_rng(seed)
+        rows = rng.uniform(-100, 100, size=n)
+        cols = rng.uniform(-100, 100, size=m)
+        full = rows[:, None] + cols[None, :]
+        i = int(rng.integers(0, n))
+        j = int(rng.integers(0, m))
+        values = full.copy()
+        values[i, j] = np.nan
+        sparse = DataMatrix(values)
+        clustering = Clustering(sparse, [DeltaCluster(range(n), range(m))])
+        filled = impute(sparse, clustering)
+        assert filled.values[i, j] == pytest.approx(
+            full[i, j], rel=1e-9, abs=1e-6
+        )
+
+
+class TestDataMatrixProperties:
+    @given(matrices_with_missing())
+    @settings(max_examples=40, deadline=None)
+    def test_density_consistent(self, values):
+        matrix = DataMatrix(values)
+        assert matrix.n_specified == int((~np.isnan(values)).sum())
+        assert matrix.density == pytest.approx(
+            matrix.n_specified / values.size
+        )
+
+    @given(matrices_with_missing())
+    @settings(max_examples=40, deadline=None)
+    def test_equality_reflexive(self, values):
+        assert DataMatrix(values) == DataMatrix(values)

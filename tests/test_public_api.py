@@ -1,0 +1,109 @@
+"""Public-surface sanity: exports exist, __all__ lists are honest, and
+the example scripts at least compile."""
+
+import importlib
+import pathlib
+import py_compile
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.baselines",
+    "repro.subspace",
+    "repro.data",
+    "repro.eval",
+]
+
+MODULES = [
+    "repro.cli",
+    "repro.core.matrix",
+    "repro.core.residue",
+    "repro.core.cluster",
+    "repro.core.clustering",
+    "repro.core.actions",
+    "repro.core.ordering",
+    "repro.core.seeding",
+    "repro.core.constraints",
+    "repro.core.floc",
+    "repro.core.predict",
+    "repro.core.mining",
+    "repro.baselines.cheng_church",
+    "repro.baselines.pearson",
+    "repro.subspace.grid",
+    "repro.subspace.clique",
+    "repro.subspace.cover",
+    "repro.subspace.graph",
+    "repro.subspace.derived",
+    "repro.data.synthetic",
+    "repro.data.movielens",
+    "repro.data.microarray",
+    "repro.data.categorical",
+    "repro.data.distributions",
+    "repro.data.io",
+    "repro.eval.metrics",
+    "repro.eval.experiment",
+    "repro.eval.reporting",
+    "repro.eval.significance",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES + MODULES)
+def test_module_imports(name):
+    module = importlib.import_module(name)
+    assert module is not None
+
+
+@pytest.mark.parametrize("name", PACKAGES + MODULES)
+def test_all_entries_resolve(name):
+    module = importlib.import_module(name)
+    exported = getattr(module, "__all__", None)
+    if exported is None:
+        pytest.skip(f"{name} has no __all__")
+    for symbol in exported:
+        assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol}"
+
+
+@pytest.mark.parametrize("name", PACKAGES + MODULES)
+def test_public_symbols_documented(name):
+    module = importlib.import_module(name)
+    assert module.__doc__, f"{name} lacks a module docstring"
+    for symbol in getattr(module, "__all__", []):
+        obj = getattr(module, symbol)
+        if isinstance(obj, type) or (
+            callable(obj) and not _is_type_alias(obj)
+        ):
+            assert getattr(obj, "__doc__", None), (
+                f"{name}.{symbol} lacks a docstring"
+            )
+
+
+def _is_type_alias(obj):
+    # typing aliases like Seed = Tuple[np.ndarray, np.ndarray] are
+    # "callable" but carry typing's docstring, not their own.
+    return getattr(obj, "__module__", "") == "typing"
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__.count(".") == 2
+
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 4
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLES, ids=lambda p: p.name
+)
+def test_examples_compile(path):
+    py_compile.compile(str(path), doraise=True)

@@ -1,0 +1,168 @@
+"""Unit tests for bases and residues (Definitions 3.3-3.5, Figure 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.residue import (
+    col_residues,
+    compute_bases,
+    mean_abs_residue,
+    mean_squared_residue,
+    residue_matrix,
+    row_residues,
+    submatrix_residue,
+)
+from repro.data.microarray import figure4_cluster, figure4_matrix
+
+NAN = float("nan")
+
+
+class TestFigure4:
+    """The worked example of Section 3 must reproduce exactly."""
+
+    def setup_method(self):
+        self.matrix = figure4_matrix()
+        self.cluster = figure4_cluster()
+        self.sub = self.cluster.submatrix(self.matrix)
+
+    def test_object_bases(self):
+        bases = compute_bases(self.sub)
+        # d_VPS8,J = 273, d_EFB1,J = 190, d_CYS3,J = 194
+        assert bases.row.tolist() == [273.0, 190.0, 194.0]
+
+    def test_attribute_bases(self):
+        bases = compute_bases(self.sub)
+        # d_I,CH1I = 347, d_I,CH1D = 66, d_I,CH2B = 244
+        assert bases.col.tolist() == [347.0, 66.0, 244.0]
+
+    def test_cluster_base(self):
+        assert compute_bases(self.sub).grand == pytest.approx(219.0)
+
+    def test_perfect_cluster_zero_residue(self):
+        assert mean_abs_residue(self.sub) == pytest.approx(0.0, abs=1e-9)
+
+    def test_entry_reconstruction(self):
+        # d_ij = d_iJ + d_Ij - d_IJ holds for every entry (Section 3):
+        # e.g. d_VPS8,CH1I = 273 + 347 - 219 = 401.
+        bases = compute_bases(self.sub)
+        expected = bases.row[:, None] + bases.col[None, :] - bases.grand
+        assert np.allclose(self.sub, expected)
+
+    def test_volume_is_nine(self):
+        assert compute_bases(self.sub).volume == 9
+
+
+class TestBases:
+    def test_simple_means(self):
+        sub = np.array([[1.0, 3.0], [5.0, 7.0]])
+        bases = compute_bases(sub)
+        assert bases.row.tolist() == [2.0, 6.0]
+        assert bases.col.tolist() == [3.0, 5.0]
+        assert bases.grand == pytest.approx(4.0)
+        assert bases.volume == 4
+
+    def test_missing_entries_excluded(self):
+        sub = np.array([[1.0, NAN], [5.0, 7.0]])
+        bases = compute_bases(sub)
+        assert bases.row.tolist() == [1.0, 6.0]
+        assert bases.col.tolist() == [3.0, 7.0]
+        assert bases.volume == 3
+
+    def test_fully_missing_row_base_zero(self):
+        sub = np.array([[NAN, NAN], [5.0, 7.0]])
+        bases = compute_bases(sub)
+        assert bases.row[0] == 0.0
+        assert bases.row_counts[0] == 0
+
+    def test_all_missing_volume_zero(self):
+        sub = np.full((2, 2), NAN)
+        bases = compute_bases(sub)
+        assert bases.volume == 0
+        assert bases.grand == 0.0
+
+
+class TestResidueMatrix:
+    def test_perfect_additive_pattern_zero(self):
+        rows = np.array([0.0, 10.0, -5.0])
+        cols = np.array([1.0, 2.0, 3.0, 4.0])
+        sub = 100.0 + rows[:, None] + cols[None, :]
+        assert np.allclose(residue_matrix(sub), 0.0)
+
+    def test_missing_entries_get_zero_residue(self):
+        sub = np.array([[1.0, NAN], [5.0, 7.0]])
+        res = residue_matrix(sub)
+        assert res[0, 1] == 0.0
+
+    def test_residues_sum_to_zero_rows_and_cols(self):
+        # Algebraic identity: residues sum to ~0 along each fully
+        # specified axis because the bases are means.
+        rng = np.random.default_rng(0)
+        sub = rng.normal(size=(5, 4))
+        res = residue_matrix(sub)
+        assert np.allclose(res.sum(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(res.sum(axis=1), 0.0, atol=1e-9)
+
+
+class TestMeanResidues:
+    def test_known_2x2(self):
+        # For a 2x2 every residue is |d11 - d12 - d21 + d22| / 4.
+        sub = np.array([[1.0, 2.0], [3.0, 8.0]])
+        expected = abs(1.0 - 2.0 - 3.0 + 8.0) / 4.0
+        assert mean_abs_residue(sub) == pytest.approx(expected)
+
+    def test_empty_is_zero(self):
+        assert mean_abs_residue(np.empty((0, 0))) == 0.0
+        assert mean_squared_residue(np.empty((0, 3))) == 0.0
+
+    def test_all_missing_is_zero(self):
+        assert mean_abs_residue(np.full((3, 3), NAN)) == 0.0
+
+    def test_squared_vs_abs_relationship(self):
+        rng = np.random.default_rng(1)
+        sub = rng.normal(size=(6, 5))
+        res = residue_matrix(sub)
+        assert mean_squared_residue(sub) == pytest.approx(
+            float(np.square(res).mean())
+        )
+        assert mean_abs_residue(sub) == pytest.approx(float(np.abs(res).mean()))
+
+    def test_shift_invariance(self):
+        # Adding a constant to any row or column leaves residues intact --
+        # the defining property of shifting coherence.
+        rng = np.random.default_rng(2)
+        sub = rng.normal(size=(5, 4))
+        base = mean_abs_residue(sub)
+        shifted = sub + rng.normal(size=(5, 1)) + rng.normal(size=(1, 4))
+        assert mean_abs_residue(shifted) == pytest.approx(base)
+
+    def test_scale_covariance(self):
+        rng = np.random.default_rng(3)
+        sub = rng.normal(size=(4, 4))
+        assert mean_abs_residue(3.0 * sub) == pytest.approx(
+            3.0 * mean_abs_residue(sub)
+        )
+
+    def test_submatrix_residue_indices(self):
+        values = np.arange(30, dtype=float).reshape(5, 6)
+        # Any submatrix of a perfect additive grid has zero residue.
+        assert submatrix_residue(values, [0, 2, 4], [1, 3]) == pytest.approx(0.0)
+
+    def test_submatrix_residue_empty_selection(self):
+        values = np.ones((3, 3))
+        assert submatrix_residue(values, [], [0]) == 0.0
+
+
+class TestLineResidues:
+    def test_row_residues_perfect(self):
+        values = np.arange(12, dtype=float).reshape(3, 4)
+        assert np.allclose(row_residues(values), 0.0)
+
+    def test_col_residues_match_manual(self):
+        rng = np.random.default_rng(4)
+        sub = rng.normal(size=(4, 3))
+        res = np.abs(residue_matrix(sub))
+        assert np.allclose(col_residues(sub), res.mean(axis=0))
+
+    def test_missing_line_zero(self):
+        sub = np.array([[NAN, NAN], [1.0, 2.0], [3.0, 1.0]])
+        assert row_residues(sub)[0] == 0.0

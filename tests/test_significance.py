@@ -1,0 +1,80 @@
+"""Unit tests for the cluster significance permutation test."""
+
+import numpy as np
+import pytest
+
+from repro.core.cluster import DeltaCluster
+from repro.core.matrix import DataMatrix
+from repro.data.synthetic import generate_embedded
+from repro.eval.significance import (
+    empirical_residue_distribution,
+    residue_significance,
+)
+
+
+class TestNullDistribution:
+    def test_shape_and_positivity(self):
+        rng = np.random.default_rng(0)
+        matrix = DataMatrix(rng.uniform(0, 100, size=(40, 20)))
+        null = empirical_residue_distribution(matrix, (5, 4), 50, rng=1)
+        assert null.shape == (50,)
+        assert (null >= 0).all()
+
+    def test_validation(self):
+        matrix = DataMatrix(np.ones((4, 4)))
+        with pytest.raises(ValueError, match="shape"):
+            empirical_residue_distribution(matrix, (0, 2), 10)
+        with pytest.raises(ValueError, match="exceeds"):
+            empirical_residue_distribution(matrix, (10, 2), 10)
+        with pytest.raises(ValueError, match="n_samples"):
+            empirical_residue_distribution(matrix, (2, 2), 0)
+
+    def test_deterministic_with_seed(self):
+        rng = np.random.default_rng(0)
+        matrix = DataMatrix(rng.uniform(0, 100, size=(30, 15)))
+        a = empirical_residue_distribution(matrix, (4, 4), 20, rng=7)
+        b = empirical_residue_distribution(matrix, (4, 4), 20, rng=7)
+        assert (a == b).all()
+
+
+class TestSignificance:
+    def test_planted_cluster_significant(self):
+        dataset = generate_embedded(
+            150, 30, 2, cluster_shape=(20, 10), noise=2.0, rng=3
+        )
+        report = residue_significance(
+            dataset.matrix, dataset.embedded[0], n_samples=100, rng=0
+        )
+        assert report.p_value < 0.02
+        assert report.z_score < -1.0
+        assert report.cluster_residue < report.null_mean
+
+    def test_random_cluster_not_significant(self):
+        rng = np.random.default_rng(1)
+        matrix = DataMatrix(rng.uniform(0, 100, size=(80, 20)))
+        cluster = DeltaCluster(range(10), range(6))
+        report = residue_significance(matrix, cluster, n_samples=100, rng=2)
+        assert report.p_value > 0.05
+
+    def test_p_value_strictly_positive(self):
+        dataset = generate_embedded(
+            100, 20, 1, cluster_shape=(15, 8), rng=4
+        )
+        report = residue_significance(
+            dataset.matrix, dataset.embedded[0], n_samples=50, rng=5
+        )
+        assert report.p_value > 0.0
+
+    def test_empty_cluster_rejected(self):
+        matrix = DataMatrix(np.ones((4, 4)))
+        with pytest.raises(ValueError, match="empty"):
+            residue_significance(matrix, DeltaCluster((), ()))
+
+    def test_report_fields(self):
+        rng = np.random.default_rng(6)
+        matrix = DataMatrix(rng.normal(size=(30, 10)))
+        report = residue_significance(
+            matrix, DeltaCluster(range(5), range(4)), n_samples=30, rng=7
+        )
+        assert report.n_samples == 30
+        assert report.null_std >= 0.0

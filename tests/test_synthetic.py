@@ -1,0 +1,134 @@
+"""Unit tests for the synthetic embedded-cluster generator (Section 6.2)."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import generate_embedded, volumes_to_shapes
+
+
+class TestValidation:
+    def test_empty_matrix(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            generate_embedded(0, 10, 1)
+
+    def test_negative_clusters(self):
+        with pytest.raises(ValueError, match="n_clusters"):
+            generate_embedded(10, 10, -1)
+
+    def test_missing_fraction_range(self):
+        with pytest.raises(ValueError, match="missing_fraction"):
+            generate_embedded(10, 10, 1, missing_fraction=1.0)
+
+    def test_negative_noise(self):
+        with pytest.raises(ValueError, match="noise"):
+            generate_embedded(10, 10, 1, noise=-1.0)
+
+    def test_volume_and_shape_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            generate_embedded(
+                50, 20, 1, mean_volume=50.0, cluster_shape=(5, 5)
+            )
+
+    def test_too_many_clusters(self):
+        with pytest.raises(ValueError, match="disjoint-row"):
+            generate_embedded(10, 10, 4, cluster_shape=(5, 5))
+
+    def test_background_range_checked(self):
+        with pytest.raises(ValueError, match="background_range"):
+            generate_embedded(10, 10, 0, background_range=(5.0, 5.0))
+
+
+class TestGroundTruth:
+    def test_cluster_count_and_shape(self):
+        dataset = generate_embedded(100, 20, 3, cluster_shape=(10, 5), rng=0)
+        assert dataset.n_embedded == 3
+        for cluster in dataset.embedded:
+            assert cluster.n_rows == 10
+            assert cluster.n_cols == 5
+
+    def test_rows_disjoint(self):
+        dataset = generate_embedded(100, 20, 4, cluster_shape=(10, 5), rng=1)
+        seen = set()
+        for cluster in dataset.embedded:
+            assert seen.isdisjoint(cluster.rows)
+            seen.update(cluster.rows)
+
+    def test_noiseless_clusters_are_perfect(self):
+        dataset = generate_embedded(80, 16, 3, cluster_shape=(8, 6), rng=2)
+        for cluster in dataset.embedded:
+            assert cluster.residue(dataset.matrix) == pytest.approx(0.0, abs=1e-9)
+        assert dataset.embedded_average_residue() == pytest.approx(0.0, abs=1e-9)
+
+    def test_noise_raises_residue(self):
+        noiseless = generate_embedded(80, 16, 2, cluster_shape=(8, 6), rng=3)
+        noisy = generate_embedded(
+            80, 16, 2, cluster_shape=(8, 6), noise=5.0, rng=3
+        )
+        assert noisy.embedded_average_residue() > noiseless.embedded_average_residue()
+        assert noisy.noise == 5.0
+
+    def test_zero_clusters(self):
+        dataset = generate_embedded(20, 10, 0, rng=4)
+        assert dataset.embedded == []
+        assert dataset.embedded_average_residue() == 0.0
+
+    def test_deterministic(self):
+        a = generate_embedded(50, 10, 2, cluster_shape=(5, 4), rng=42)
+        b = generate_embedded(50, 10, 2, cluster_shape=(5, 4), rng=42)
+        assert a.matrix == b.matrix
+        assert a.embedded == b.embedded
+
+
+class TestVolumeDistribution:
+    def test_mean_volume_followed(self):
+        dataset = generate_embedded(
+            400, 60, 8, mean_volume=120.0, volume_variance_level=0.0, rng=5
+        )
+        cells = [c.entry_count() for c in dataset.embedded]
+        assert np.mean(cells) == pytest.approx(120.0, rel=0.35)
+
+    def test_variance_spreads_volumes(self):
+        constant = generate_embedded(
+            600, 60, 6, mean_volume=150.0, volume_variance_level=0.0, rng=6
+        )
+        spread = generate_embedded(
+            600, 60, 6, mean_volume=150.0, volume_variance_level=5.0, rng=6
+        )
+        constant_cells = [c.entry_count() for c in constant.embedded]
+        spread_cells = [c.entry_count() for c in spread.embedded]
+        assert np.std(spread_cells) > np.std(constant_cells)
+
+    def test_paper_default_shape(self):
+        # Section 6.2.1: average volume (0.04 * rows) x (0.1 * cols).
+        dataset = generate_embedded(100, 20, 2, rng=7)
+        for cluster in dataset.embedded:
+            assert cluster.n_rows == 4
+            assert cluster.n_cols == 2
+
+
+class TestMissingValues:
+    def test_fraction_applied(self):
+        dataset = generate_embedded(
+            100, 50, 0, missing_fraction=0.3, rng=8
+        )
+        assert dataset.matrix.density == pytest.approx(0.7, abs=0.03)
+
+    def test_no_missing_by_default(self):
+        dataset = generate_embedded(20, 10, 0, rng=9)
+        assert dataset.matrix.density == 1.0
+
+
+class TestVolumesToShapes:
+    def test_aspect_preserved(self):
+        ((rows, cols),) = volumes_to_shapes([400.0], 1000, 40)
+        assert rows > cols
+        assert rows * cols == pytest.approx(400, rel=0.4)
+
+    def test_minimum_enforced(self):
+        ((rows, cols),) = volumes_to_shapes([4.0], 100, 100)
+        assert rows >= 2
+        assert cols >= 2
+
+    def test_invalid_volume(self):
+        with pytest.raises(ValueError, match="positive"):
+            volumes_to_shapes([0.0], 10, 10)
