@@ -1,0 +1,108 @@
+"""Tracing overhead guard: the disabled tracer must cost < 5% of a run.
+
+FLOC's hot loops are permanently instrumented (spans around gain
+evaluation and performed actions, metric write paths).  With no tracer
+attached every one of those sites degenerates to a flag check or a
+shared no-op span, but "negligible" must be *measured*, not assumed --
+this bench reconstructs the disabled-path cost from first principles:
+
+1. time the standard run (no tracer) -- min of several repeats;
+2. run once fully traced to count every span / metric call site the run
+   actually executes;
+3. micro-time each disabled operation (no-op span cycle, ``inc``,
+   ``observe`` on the null tracer);
+4. assert  (count x unit cost)  <  5% of the run time.
+
+The reconstruction is deliberately pessimistic: it charges every call
+site at its micro-benchmarked cost with no allowance for what the
+un-instrumented code would have paid anyway.
+"""
+
+import time
+
+from repro.core.floc import floc
+from repro.data.synthetic import generate_embedded
+from repro.obs import NULL_TRACER, IterationEvent, MetricsRegistry, \
+    RingBufferSink, Tracer
+
+
+def _standard_run(matrix, tracer=None):
+    """The 'standard FLOC run' the 5% budget is measured against."""
+    return floc(
+        matrix, k=8, p=0.2, residue_target=2.0, gain_mode="fast",
+        ordering="weighted", reseed_rounds=1, rng=0, tracer=tracer,
+    )
+
+
+def _best_of(func, repeats=3):
+    best = float("inf")
+    for __ in range(repeats):
+        started = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _unit_cost(operation, reps=200_000):
+    started = time.perf_counter()
+    for __ in range(reps):
+        operation()
+    return (time.perf_counter() - started) / reps
+
+
+def test_disabled_tracer_overhead_under_5_percent(report):
+    dataset = generate_embedded(
+        200, 40, 5, cluster_shape=(25, 12), noise=1.0, rng=0
+    )
+    matrix = dataset.matrix
+
+    run_time = _best_of(lambda: _standard_run(matrix))
+
+    # Count the instrumentation sites the run actually executes.
+    traced = _standard_run(
+        matrix,
+        tracer=Tracer(sinks=[RingBufferSink(capacity=2_000_000)],
+                      metrics=MetricsRegistry()),
+    )
+    spans = traced.trace_summary["spans"]
+    counters = traced.metrics["counters"]
+    n_spans = sum(entry["count"] for entry in spans.values())
+    n_observes = spans.get("gain_eval", {"count": 0})["count"]
+    n_incs = (
+        counters.get("actions_blocked_by_constraint", 0)
+        + counters.get("seeds_generated", 0)
+    )
+
+    # Disabled-path unit costs.
+    def span_cycle():
+        with NULL_TRACER.span("gain_eval"):
+            pass
+
+    event = IterationEvent(index=0, residue=1.0)
+    span_cost = _unit_cost(span_cycle)
+    inc_cost = _unit_cost(lambda: NULL_TRACER.inc("x"))
+    observe_cost = _unit_cost(lambda: NULL_TRACER.observe("x", 1.0))
+    emit_cost = _unit_cost(lambda: NULL_TRACER.emit(event))
+
+    overhead = (
+        n_spans * span_cost
+        + n_observes * observe_cost
+        + n_incs * inc_cost
+    )
+    fraction = overhead / run_time
+
+    report("overhead_tracing", "\n".join([
+        "disabled-tracer overhead reconstruction",
+        f"standard run            : {run_time * 1e3:9.2f} ms",
+        f"spans executed          : {n_spans:9d} x {span_cost * 1e9:6.1f} ns",
+        f"observe() calls         : {n_observes:9d} x {observe_cost * 1e9:6.1f} ns",
+        f"inc() calls             : {n_incs:9d} x {inc_cost * 1e9:6.1f} ns",
+        f"emit() unit cost        : {emit_cost * 1e9:9.1f} ns (guarded sites)",
+        f"reconstructed overhead  : {overhead * 1e3:9.3f} ms "
+        f"({100 * fraction:.2f}% of the run)",
+    ]))
+
+    assert fraction < 0.05, (
+        f"disabled tracer costs {100 * fraction:.2f}% of a standard run "
+        f"(budget: 5%)"
+    )

@@ -69,30 +69,55 @@ from .eval import (
     run_trial,
     run_trials,
 )
+from .obs import (
+    ActionEvent,
+    ConsoleProgressSink,
+    IterationEvent,
+    JsonlSink,
+    MetricsRegistry,
+    RingBufferSink,
+    SeedEvent,
+    Tracer,
+    disable_profiling,
+    enable_profiling,
+    profile_report,
+    profiled,
+    read_jsonl,
+)
 from .subspace import alternative_delta_clusters, clique, derived_matrix
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Action",
+    "ActionEvent",
     "Bicluster",
     "ChengChurchResult",
     "Clustering",
+    "ConsoleProgressSink",
     "Constraints",
     "DataMatrix",
     "DeltaCluster",
     "ExperimentConfig",
     "FlocResult",
+    "IterationEvent",
+    "JsonlSink",
+    "MetricsRegistry",
     "MiningResult",
     "MovieLensDataset",
+    "RingBufferSink",
+    "SeedEvent",
     "SignificanceReport",
     "SyntheticDataset",
+    "Tracer",
     "YeastDataset",
     "__version__",
     "alternative_delta_clusters",
     "clique",
     "clustering_report",
     "derived_matrix",
+    "disable_profiling",
+    "enable_profiling",
     "figure4_cluster",
     "figure4_matrix",
     "fill_missing_with_random",
@@ -111,6 +136,9 @@ __all__ = [
     "pearson_r",
     "predict_entry",
     "prediction_error",
+    "profile_report",
+    "profiled",
+    "read_jsonl",
     "recall_precision",
     "residue_matrix",
     "residue_significance",

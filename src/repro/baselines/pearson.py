@@ -41,10 +41,17 @@ def pearson_r(first: np.ndarray, second: np.ndarray) -> float:
     b = second[joint]
     a_centered = a - a.mean()
     b_centered = b - b.mean()
-    denom = np.sqrt(np.square(a_centered).sum() * np.square(b_centered).sum())
-    if denom == 0.0:
+    # A constant vector must read as zero variance, but centering leaves
+    # O(eps * |value|) rounding noise, so the check needs a relative floor
+    # -- otherwise the "correlation" of that noise (+-1) is returned.
+    eps = np.finfo(np.float64).eps
+    floor_a = a.size * (16.0 * eps * max(1.0, float(np.abs(a).max()))) ** 2
+    floor_b = b.size * (16.0 * eps * max(1.0, float(np.abs(b).max()))) ** 2
+    var_a = float(np.square(a_centered).sum())
+    var_b = float(np.square(b_centered).sum())
+    if var_a <= floor_a or var_b <= floor_b:
         return 0.0
-    return float((a_centered * b_centered).sum() / denom)
+    return float((a_centered * b_centered).sum() / np.sqrt(var_a * var_b))
 
 
 def pairwise_pearson(matrix: Union[DataMatrix, np.ndarray]) -> np.ndarray:

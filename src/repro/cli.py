@@ -29,6 +29,7 @@ import numpy as np
 from .core.matrix import DataMatrix
 from .core.mining import mine_delta_clusters
 from .core.predict import predict_entry
+from .obs import ConsoleProgressSink, JsonlSink, MetricsRegistry, Tracer
 from .data.io import (
     load_clusters,
     load_matrix_csv,
@@ -57,21 +58,55 @@ def _load_matrix(path: str) -> DataMatrix:
 # ----------------------------------------------------------------------
 # Subcommands
 # ----------------------------------------------------------------------
+def _build_tracer(args: argparse.Namespace) -> Optional[Tracer]:
+    """Tracer for ``mine`` per the --trace/--progress/--metrics flags."""
+    sinks = []
+    if getattr(args, "trace", None):
+        sinks.append(JsonlSink(args.trace))
+    if getattr(args, "progress", False):
+        sinks.append(ConsoleProgressSink())
+    metrics = MetricsRegistry() if getattr(args, "metrics", False) else None
+    if not sinks and metrics is None:
+        return None
+    return Tracer(sinks=sinks, metrics=metrics)
+
+
+def _print_metrics(snapshot: dict) -> None:
+    rows = []
+    for name, value in snapshot["counters"].items():
+        rows.append([name, "counter", value])
+    for name, value in snapshot["gauges"].items():
+        rows.append([name, "gauge", round(value, 6) if value is not None else ""])
+    for name, hist in snapshot["histograms"].items():
+        rows.append([
+            name, "histogram",
+            f"n={hist['count']} mean={hist['mean']:.3g} p90={hist['p90']:.3g}",
+        ])
+    print(format_table(rows, headers=["metric", "kind", "value"],
+                       title="run metrics"))
+
+
 def cmd_mine(args: argparse.Namespace) -> int:
     matrix = _load_matrix(args.matrix)
-    result = mine_delta_clusters(
-        matrix,
-        residue_target=args.target,
-        k=args.k,
-        n_restarts=args.restarts,
-        max_clusters=args.max_clusters,
-        min_rows=args.min_rows,
-        min_cols=args.min_cols,
-        alpha=args.alpha,
-        p=args.p,
-        reseed_rounds=args.reseed_rounds,
-        rng=args.seed,
-    )
+    tracer = _build_tracer(args)
+    try:
+        result = mine_delta_clusters(
+            matrix,
+            residue_target=args.target,
+            k=args.k,
+            n_restarts=args.restarts,
+            max_clusters=args.max_clusters,
+            min_rows=args.min_rows,
+            min_cols=args.min_cols,
+            alpha=args.alpha,
+            p=args.p,
+            reseed_rounds=args.reseed_rounds,
+            rng=args.seed,
+            tracer=tracer,
+        )
+    finally:
+        if tracer is not None:
+            tracer.close()
     rows = [
         [
             index,
@@ -94,6 +129,10 @@ def cmd_mine(args: argparse.Namespace) -> int:
     if args.out:
         save_clusters(args.out, list(result.clustering))
         print(f"clusters written to {args.out}")
+    if args.trace:
+        print(f"trace written to {args.trace}")
+    if args.metrics and result.metrics is not None:
+        _print_metrics(result.metrics)
     return 0
 
 
@@ -221,6 +260,14 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--reseed-rounds", type=int, default=10)
     mine.add_argument("--seed", type=int, default=None)
     mine.add_argument("--out", default=None, help="write clusters here")
+    mine.add_argument("--trace", default=None, metavar="PATH",
+                      help="write a JSONL trace (seed/action/iteration "
+                           "events) to PATH")
+    mine.add_argument("--progress", action="store_true",
+                      help="print per-iteration progress to stderr")
+    mine.add_argument("--metrics", action="store_true",
+                      help="collect and print run metrics "
+                           "(actions, gain-eval timings, residue)")
     mine.set_defaults(func=cmd_mine)
 
     generate = sub.add_parser("generate", help="generate a workload")

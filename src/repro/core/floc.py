@@ -36,16 +36,24 @@ Two gain-evaluation modes are provided:
     residue is recomputed once per *performed* action so the objective is
     always tracked exactly.  This trades a little per-move greediness
     accuracy for a large speedup and is benchmarked as an ablation.
+
+The run is observable end to end: pass a :class:`repro.obs.Tracer` to
+stream per-seed / per-action / per-iteration events into sinks (JSONL,
+ring buffer, console progress) and collect metrics -- see
+``docs/OBSERVABILITY.md``.  All timing goes through the tracer clock;
+instrumentation is inert (and free) without a tracer and never touches
+the RNG stream, so traced and untraced runs are bit-identical.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..obs.events import ActionEvent, IterationEvent, SeedEvent
+from ..obs.tracer import NULL_TRACER, Tracer
 from .actions import BLOCKED_GAIN, ROW, evaluate_toggle, toggle_occupancy_ok
 from .cluster import DeltaCluster
 from .clustering import Clustering
@@ -78,6 +86,12 @@ class FlocResult:
         Average residue of ``best_clustering`` after each iteration
         (non-increasing; the last entry repeats when the final iteration
         brought no improvement).
+    iteration_times:
+        Wall-clock seconds of each Phase-2 iteration, index-aligned with
+        ``history`` (``len(iteration_times) == len(history)``), measured
+        with the tracer clock whether or not tracing is enabled.  Summing
+        it gives the pure Phase-2 time; ``elapsed_seconds`` additionally
+        includes seeding and bookkeeping.
     elapsed_seconds:
         Wall-clock time of the whole run.
     converged:
@@ -85,15 +99,28 @@ class FlocResult:
         improve (as opposed to hitting ``max_iterations``).
     n_actions:
         Total number of actions performed across all iterations.
+    metrics:
+        :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` of the
+        tracer's registry at the end of the run, or ``None`` when the run
+        was not traced with metrics.  Shared tracers (e.g. one handed to
+        :func:`repro.core.mining.mine_delta_clusters`) accumulate across
+        runs, so the snapshot is cumulative up to this run's end.
+    trace_summary:
+        :meth:`~repro.obs.tracer.Tracer.summary` (event counts, span
+        aggregates), or ``None`` for untraced runs.  Cumulative under a
+        shared tracer, like ``metrics``.
     """
 
     clustering: Clustering
     n_iterations: int
     initial_residue: float
     history: List[float] = field(default_factory=list)
+    iteration_times: List[float] = field(default_factory=list)
     elapsed_seconds: float = 0.0
     converged: bool = True
     n_actions: int = 0
+    metrics: Optional[Dict[str, object]] = None
+    trace_summary: Optional[Dict[str, object]] = None
 
     @property
     def average_residue(self) -> float:
@@ -414,6 +441,7 @@ def _build_seeds(
     seeds: Optional[Sequence[Seed]],
     constraints: Constraints,
     rng: np.random.Generator,
+    tracer: Tracer = NULL_TRACER,
 ) -> List[Seed]:
     if seeds is not None:
         seeds = list(seeds)
@@ -428,18 +456,19 @@ def _build_seeds(
     if np.isscalar(p):
         candidates = bernoulli_seeds(
             matrix.n_rows, matrix.n_cols, k, float(p), rng,
-            constraints.min_rows, constraints.min_cols,
+            constraints.min_rows, constraints.min_cols, tracer=tracer,
         )
     else:
         candidates = mixed_seeds(
             matrix.n_rows, matrix.n_cols, k, list(p), rng,
-            constraints.min_rows, constraints.min_cols,
+            constraints.min_rows, constraints.min_cols, tracer=tracer,
         )
     # Phase 1 must emit constraint-compliant seeds (Section 4.3); retry the
     # cheap structural checks a bounded number of times.
     for attempt in range(100):
         if all(constraints.seed_ok(r, c) for r, c in candidates):
             return candidates
+        tracer.inc("seed_retries")
         candidates = [
             seed
             if constraints.seed_ok(*seed)
@@ -447,6 +476,7 @@ def _build_seeds(
                 matrix.n_rows, matrix.n_cols, 1,
                 float(p) if np.isscalar(p) else float(list(p)[0]),
                 rng, constraints.min_rows, constraints.min_cols,
+                tracer=tracer,
             )[0]
             for seed in candidates
         ]
@@ -469,6 +499,7 @@ def floc(
     rng: Union[None, int, np.random.Generator] = None,
     max_iterations: int = 100,
     tol: float = 1e-12,
+    tracer: Optional[Tracer] = None,
 ) -> FlocResult:
     """Run FLOC and return the best clustering found.
 
@@ -537,6 +568,18 @@ def floc(
     tol:
         Minimum average-residue improvement an iteration must achieve to
         continue.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer`.  When given, the run
+        emits span timings (``phase1``, ``gain_eval``, ``perform_action``,
+        ``reseed``) and typed events (:class:`~repro.obs.events.SeedEvent`,
+        :class:`~repro.obs.events.ActionEvent`,
+        :class:`~repro.obs.events.IterationEvent`) to the tracer's sinks,
+        and updates its metrics registry (``actions_performed``,
+        ``actions_blocked_by_constraint``, ``gain_eval_ns``,
+        ``residue_after_iteration``, ...).  Tracing never draws random
+        numbers and never changes the result: the clustering, history and
+        RNG stream are bit-identical with and without it.  ``None`` (the
+        default) uses the shared disabled tracer at zero cost.
 
     Returns
     -------
@@ -556,45 +599,63 @@ def floc(
         raise ValueError(f"max_iterations must be >= 1, got {max_iterations}")
     generator = _resolve_rng(rng)
     active = constraints if constraints is not None else Constraints()
+    if tracer is None:
+        tracer = NULL_TRACER
 
-    started = time.perf_counter()
-    seed_list = _build_seeds(matrix, k, p, seeds, active, generator)
-    if alpha > 0.0:
-        seed_list = [
-            _trim_seed_to_alpha(
-                row_member, col_member, matrix.mask, alpha,
-                active.min_rows, active.min_cols,
-            )
-            for row_member, col_member in seed_list
-        ]
-    # The fast caches are also what powers the weighted ordering's gain
-    # estimates, so they are maintained whenever either needs them.
-    need_fast = (
-        gain_mode == "fast"
-        or ordering in ("weighted", "greedy")
-        or residue_target is not None
-    )
-    state = _State(matrix.values, matrix.mask, seed_list, fast=need_fast)
+    started = tracer.clock()
+    with tracer.span("phase1", k=k):
+        seed_list = _build_seeds(matrix, k, p, seeds, active, generator, tracer)
+        if alpha > 0.0:
+            seed_list = [
+                _trim_seed_to_alpha(
+                    row_member, col_member, matrix.mask, alpha,
+                    active.min_rows, active.min_cols,
+                )
+                for row_member, col_member in seed_list
+            ]
+        # The fast caches are also what powers the weighted ordering's gain
+        # estimates, so they are maintained whenever either needs them.
+        need_fast = (
+            gain_mode == "fast"
+            or ordering in ("weighted", "greedy")
+            or residue_target is not None
+        )
+        state = _State(matrix.values, matrix.mask, seed_list, fast=need_fast)
     initial_residue = float(state.residues.mean())
+    if tracer.enabled:
+        for c in range(state.k):
+            tracer.emit(SeedEvent(
+                cluster=c,
+                origin="phase1",
+                n_rows=int(state.row_member[c].sum()),
+                n_cols=int(state.col_member[c].sum()),
+                residue=float(state.residues[c]),
+                volume=int(state.volumes[c]),
+            ))
 
     history: List[float] = []
+    iteration_times: List[float] = []
     n_actions = 0
     n_iterations = 0
     converged = False
     rounds = reseed_rounds + 1 if residue_target is not None else 1
     for round_index in range(rounds):
-        iters, acts, round_history, round_converged = _phase2(
+        iters, acts, round_converged = _phase2(
             state, matrix, ordering, gain_mode, alpha, active,
             residue_target, mandatory_moves, generator,
-            max_iterations, tol,
+            max_iterations, tol, tracer,
+            history, iteration_times, n_iterations,
         )
         n_iterations += iters
         n_actions += acts
-        history.extend(round_history)
         converged = round_converged
         if round_index == rounds - 1:
             break
-        if not _reseed_dead_slots(state, p, active, generator, residue_target):
+        with tracer.span("reseed", round=round_index):
+            reseeded = _reseed_dead_slots(
+                state, p, active, generator, residue_target, tracer
+            )
+        if not reseeded:
             break
 
     # Materialize best_clustering.
@@ -604,15 +665,18 @@ def floc(
         cols = np.flatnonzero(state.col_member[c])
         clusters.append(DeltaCluster(rows, cols))
     clustering = Clustering(matrix, clusters)
-    elapsed = time.perf_counter() - started
+    elapsed = tracer.clock() - started
     return FlocResult(
         clustering=clustering,
         n_iterations=n_iterations,
         initial_residue=initial_residue,
         history=history,
+        iteration_times=iteration_times,
         elapsed_seconds=elapsed,
         converged=converged,
         n_actions=n_actions,
+        metrics=tracer.snapshot_metrics() if tracer.enabled else None,
+        trace_summary=tracer.summary() if tracer.enabled else None,
     )
 
 
@@ -628,46 +692,72 @@ def _phase2(
     generator: np.random.Generator,
     max_iterations: int,
     tol: float,
-) -> Tuple[int, int, List[float], bool]:
+    tracer: Tracer,
+    history: List[float],
+    iteration_times: List[float],
+    iteration_offset: int,
+) -> Tuple[int, int, bool]:
     """Run Phase-2 iterations until convergence; leave ``state`` at the
-    best clustering found.  Returns (iterations, actions, history,
-    converged)."""
+    best clustering found.  Appends the best residue and wall time of
+    every iteration to ``history`` / ``iteration_times`` (index-aligned;
+    ``iteration_offset`` numbers the emitted events across reseed
+    rounds).  Returns (iterations, actions, converged)."""
     best_score = _score(state, residue_target)
     best_state = state.snapshot()
     slots = action_slots(matrix.n_rows, matrix.n_cols)
-    history: List[float] = []
     n_actions = 0
     n_iterations = 0
     converged = False
 
     for _ in range(max_iterations):
         n_iterations += 1
+        iteration_began = tracer.clock()
         iteration_start = state.snapshot()
-        order = _ordered_slots(
-            state, slots, ordering, alpha, active, generator, residue_target
-        )
+        with tracer.span("ordering", scheme=ordering):
+            order = _ordered_slots(
+                state, slots, ordering, alpha, active, generator,
+                residue_target,
+            )
         performed: List[_PerformedAction] = []
         iter_best = np.inf
         iter_best_idx = -1
         for kind, index in order:
-            choice = _best_action(
-                state, kind, index, alpha, active, gain_mode, residue_target
-            )
+            with tracer.span("gain_eval") as gain_span:
+                choice = _best_action(
+                    state, kind, index, alpha, active, gain_mode,
+                    residue_target, tracer,
+                )
+            tracer.observe("gain_eval_ns", gain_span.elapsed * 1e9)
             if choice is None:
                 continue
             c, new_residue, new_volume, gain = choice
             if not mandatory_moves and gain <= 0.0:
                 continue
-            state.toggle(kind, index, c)
-            if gain_mode == "fast":
-                # The estimate guided the choice; the ledger stays exact.
-                state.refresh_cluster(c)
-            else:
-                state.residues[c] = new_residue
-                state.volumes[c] = new_volume
-                if state.fast:
+            with tracer.span("perform_action"):
+                state.toggle(kind, index, c)
+                if gain_mode == "fast":
+                    # The estimate guided the choice; the ledger stays exact.
                     state.refresh_cluster(c)
+                else:
+                    state.residues[c] = new_residue
+                    state.volumes[c] = new_volume
+                    if state.fast:
+                        state.refresh_cluster(c)
             performed.append((kind, index, c))
+            if tracer.enabled:
+                tracer.inc("actions_performed")
+                tracer.emit(ActionEvent(
+                    kind=kind,
+                    index=index,
+                    cluster=c,
+                    is_removal=not (
+                        state.row_member[c, index] if kind == ROW
+                        else state.col_member[c, index]
+                    ),
+                    gain=float(gain),
+                    residue=float(state.residues[c]),
+                    volume=int(state.volumes[c]),
+                ))
             score = _score(state, residue_target)
             if score < iter_best:
                 iter_best = score
@@ -675,6 +765,7 @@ def _phase2(
         n_actions += len(performed)
 
         if iter_best < best_score - tol:
+            improved = True
             best_score = iter_best
             state.restore(iteration_start)
             for kind, index, c in performed[: iter_best_idx + 1]:
@@ -685,15 +776,31 @@ def _phase2(
             best_state = state.snapshot()
             history.append(float(state.residues.mean()))
         else:
+            improved = False
             state.restore(best_state)
             history.append(
                 history[-1] if history else float(state.residues.mean())
             )
             converged = True
+        iteration_times.append(tracer.clock() - iteration_began)
+        if tracer.enabled:
+            tracer.set_gauge("residue_after_iteration", history[-1])
+            tracer.observe("iteration_seconds", iteration_times[-1])
+            tracer.inc("iterations")
+            tracer.emit(IterationEvent(
+                index=iteration_offset + n_iterations - 1,
+                residue=history[-1],
+                score=float(best_score),
+                total_volume=int(state.volumes.sum()),
+                n_actions=len(performed),
+                improved=improved,
+                elapsed_s=iteration_times[-1],
+            ))
+        if converged:
             break
     if not converged:
         state.restore(best_state)
-    return n_iterations, n_actions, history, converged
+    return n_iterations, n_actions, converged
 
 
 def _reseed_dead_slots(
@@ -702,6 +809,7 @@ def _reseed_dead_slots(
     active: Constraints,
     generator: np.random.Generator,
     residue_target: Optional[float],
+    tracer: Tracer = NULL_TRACER,
 ) -> bool:
     """Replace dead or duplicate clusters with fresh random seeds.
 
@@ -757,12 +865,22 @@ def _reseed_dead_slots(
     p_value = float(p) if np.isscalar(p) else float(list(p)[0])
     fresh = bernoulli_seeds(
         n_rows, n_cols, len(dead), p_value, generator,
-        active.min_rows, active.min_cols,
+        active.min_rows, active.min_cols, tracer=tracer,
     )
     for c, (row_member, col_member) in zip(dead, fresh):
         state.row_member[c] = row_member
         state.col_member[c] = col_member
         state.refresh_cluster(c)
+        if tracer.enabled:
+            tracer.inc("reseeds")
+            tracer.emit(SeedEvent(
+                cluster=c,
+                origin="reseed",
+                n_rows=int(row_member.sum()),
+                n_cols=int(col_member.sum()),
+                residue=float(state.residues[c]),
+                volume=int(state.volumes[c]),
+            ))
     return True
 
 
@@ -988,6 +1106,7 @@ def _best_action(
     constraints: Constraints,
     gain_mode: str,
     residue_target: Optional[float],
+    tracer: Tracer = NULL_TRACER,
 ) -> Optional[Tuple[int, float, int, float]]:
     """Pick the highest-gain unblocked action for one row/column slot.
 
@@ -1003,6 +1122,7 @@ def _best_action(
         batch = state.candidate_parts_batch(kind, index)
     for c in range(state.k):
         if _blocked(state, kind, index, c, alpha, constraints, fast_check=fast):
+            tracer.inc("actions_blocked_by_constraint")
             continue
         if kind == ROW:
             is_addition = not bool(state.row_member[c, index])

@@ -20,6 +20,7 @@ from typing import List, Optional, Union
 
 import numpy as np
 
+from ..obs.tracer import NULL_TRACER, Tracer
 from .cluster import DeltaCluster
 from .clustering import Clustering
 from .constraints import Constraints
@@ -31,12 +32,19 @@ __all__ = ["MiningResult", "mine_delta_clusters"]
 
 @dataclass
 class MiningResult:
-    """Pooled outcome of a multi-restart mining session."""
+    """Pooled outcome of a multi-restart mining session.
+
+    ``metrics`` / ``trace_summary`` are the tracer's end-of-session
+    aggregates over *all* restarts (``None`` when the session was not
+    traced); per-run convergence detail lives on each entry of ``runs``.
+    """
 
     clustering: Clustering
     runs: List[FlocResult] = field(default_factory=list)
     n_pooled: int = 0
     n_deduplicated: int = 0
+    metrics: Optional[dict] = None
+    trace_summary: Optional[dict] = None
 
     @property
     def elapsed_seconds(self) -> float:
@@ -60,6 +68,7 @@ def mine_delta_clusters(
     ordering: str = "greedy",
     gain_mode: str = "fast",
     rng: Union[None, int, np.random.Generator] = None,
+    tracer: Optional[Tracer] = None,
 ) -> MiningResult:
     """Mine r-residue delta-clusters with restarts and deduplication.
 
@@ -83,6 +92,11 @@ def mine_delta_clusters(
     max_overlap:
         Pooled clusters overlapping a kept cluster by more than this
         fraction (of the smaller one's cells) are dropped as duplicates.
+    tracer:
+        Optional :class:`~repro.obs.Tracer` shared by every restart; each
+        restart's events carry a ``restart`` context key so a single
+        JSONL trace covers the whole session.  Tracing never changes the
+        mining result.
 
     Returns
     -------
@@ -103,21 +117,31 @@ def mine_delta_clusters(
         else np.random.default_rng(rng)
     )
     constraints = Constraints(min_rows=min_rows, min_cols=min_cols)
+    if tracer is None:
+        tracer = NULL_TRACER
 
     runs: List[FlocResult] = []
     pooled: List[DeltaCluster] = []
-    for __ in range(n_restarts):
-        result = floc(
-            matrix, k,
-            p=p,
-            alpha=alpha,
-            ordering=ordering,
-            gain_mode=gain_mode,
-            residue_target=residue_target,
-            reseed_rounds=reseed_rounds,
-            constraints=constraints,
-            rng=generator,
-        )
+    for restart in range(n_restarts):
+        if tracer.enabled:
+            tracer.push_context(restart=restart)
+        try:
+            with tracer.span("restart", index=restart):
+                result = floc(
+                    matrix, k,
+                    p=p,
+                    alpha=alpha,
+                    ordering=ordering,
+                    gain_mode=gain_mode,
+                    residue_target=residue_target,
+                    reseed_rounds=reseed_rounds,
+                    constraints=constraints,
+                    rng=generator,
+                    tracer=tracer,
+                )
+        finally:
+            if tracer.enabled:
+                tracer.pop_context()
         runs.append(result)
         for cluster in result.clustering:
             if cluster.n_rows < min_rows or cluster.n_cols < min_cols:
@@ -137,6 +161,8 @@ def mine_delta_clusters(
         runs=runs,
         n_pooled=n_pooled,
         n_deduplicated=n_pooled - len(kept),
+        metrics=tracer.snapshot_metrics() if tracer.enabled else None,
+        trace_summary=tracer.summary() if tracer.enabled else None,
     )
 
 

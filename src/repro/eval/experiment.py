@@ -10,7 +10,6 @@ repeated runs over different random seeds (the paper reports averages too).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -19,6 +18,7 @@ import numpy as np
 from ..core.constraints import Constraints
 from ..core.floc import floc
 from ..core.seeding import Seed, volume_seeds
+from ..obs.tracer import NULL_TRACER, Tracer
 from ..data.distributions import erlang_volumes
 from ..data.synthetic import SyntheticDataset, generate_embedded
 from .metrics import recall_precision
@@ -121,15 +121,24 @@ def generate_workload(
 def run_trial(
     config: ExperimentConfig,
     rng: Union[None, int, np.random.Generator] = None,
+    tracer: Optional[Tracer] = None,
 ) -> TrialResult:
-    """Generate one workload, run FLOC on it, measure everything."""
+    """Generate one workload, run FLOC on it, measure everything.
+
+    ``tracer`` is forwarded to :func:`repro.core.floc.floc`, so a traced
+    trial additionally yields the full convergence event stream; the
+    returned record is unchanged by tracing.
+    """
     generator = (
         rng
         if isinstance(rng, np.random.Generator)
         else np.random.default_rng(rng)
     )
-    dataset = generate_workload(config, generator)
-    seeds = _build_seeds(config, generator)
+    if tracer is None:
+        tracer = NULL_TRACER
+    with tracer.span("workload"):
+        dataset = generate_workload(config, generator)
+        seeds = _build_seeds(config, generator)
     target = config.residue_target
     if target is None and config.residue_target_factor is not None:
         # Scale the target to the measured embedded residue -- the usual
@@ -137,7 +146,7 @@ def run_trial(
         target = config.residue_target_factor * max(
             dataset.embedded_average_residue(), 1e-9
         )
-    started = time.perf_counter()
+    started = tracer.clock()
     result = floc(
         dataset.matrix,
         config.k,
@@ -152,8 +161,9 @@ def run_trial(
         seeds=seeds,
         rng=generator,
         max_iterations=config.max_iterations,
+        tracer=tracer,
     )
-    elapsed = time.perf_counter() - started
+    elapsed = tracer.clock() - started
     scores = recall_precision(
         dataset.embedded, result.clustering.clusters, dataset.matrix.shape
     )
@@ -173,17 +183,30 @@ def run_trials(
     config: ExperimentConfig,
     n_trials: int,
     base_seed: int = 0,
+    tracer: Optional[Tracer] = None,
 ) -> Dict[str, float]:
     """Average ``n_trials`` runs over seeds ``base_seed .. base_seed+n-1``.
 
     Returns the mean of every :meth:`TrialResult.as_record` column.
+    A ``tracer`` is shared across trials; each trial's events carry a
+    ``trial`` context key.
     """
     if n_trials < 1:
         raise ValueError(f"n_trials must be >= 1, got {n_trials}")
-    records = [
-        run_trial(config, rng=base_seed + trial).as_record()
-        for trial in range(n_trials)
-    ]
+    if tracer is None:
+        tracer = NULL_TRACER
+    records = []
+    for trial in range(n_trials):
+        if tracer.enabled:
+            tracer.push_context(trial=trial)
+        try:
+            records.append(
+                run_trial(config, rng=base_seed + trial, tracer=tracer)
+                .as_record()
+            )
+        finally:
+            if tracer.enabled:
+                tracer.pop_context()
     return {
         key: float(np.mean([record[key] for record in records]))
         for key in records[0]

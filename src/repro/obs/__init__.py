@@ -1,0 +1,58 @@
+"""Observability: structured tracing, metrics and profiling for FLOC.
+
+The subsystem has four pieces, all optional and all zero-cost when not
+requested:
+
+* :mod:`repro.obs.tracer` -- the :class:`Tracer` handle threaded through
+  :func:`repro.core.floc.floc` and friends (spans + typed events);
+* :mod:`repro.obs.events` -- the typed event vocabulary
+  (:class:`IterationEvent`, :class:`ActionEvent`, :class:`SeedEvent`);
+* :mod:`repro.obs.metrics` -- counters / gauges / histograms with a
+  plain-dict snapshot;
+* :mod:`repro.obs.sinks` -- ring buffer, JSONL writer and console
+  progress reporter;
+* :mod:`repro.obs.profiling` -- the ``@profiled`` decorator on the core
+  residue/action primitives plus a wall/CPU report.
+
+See ``docs/OBSERVABILITY.md`` for the event schema and recipes.
+"""
+
+from .events import ActionEvent, IterationEvent, SeedEvent, TraceEvent
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profiling import (
+    disable_profiling,
+    enable_profiling,
+    profile_report,
+    profile_snapshot,
+    profiled,
+    profiling_enabled,
+    reset_profile,
+)
+from .sinks import ConsoleProgressSink, JsonlSink, RingBufferSink, Sink, read_jsonl
+from .tracer import NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "ActionEvent",
+    "ConsoleProgressSink",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "IterationEvent",
+    "JsonlSink",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "RingBufferSink",
+    "SeedEvent",
+    "Sink",
+    "Span",
+    "Tracer",
+    "TraceEvent",
+    "disable_profiling",
+    "enable_profiling",
+    "profile_report",
+    "profile_snapshot",
+    "profiled",
+    "profiling_enabled",
+    "read_jsonl",
+    "reset_profile",
+]

@@ -1,0 +1,100 @@
+"""Typed trace events: the vocabulary of the FLOC event stream.
+
+Every record a :class:`~repro.obs.tracer.Tracer` hands to its sinks is a
+plain ``dict`` with a ``type`` key; the dataclasses here are the typed
+constructors for the domain events (iteration, action, seed) so call
+sites cannot misspell a field.  Span timings are emitted as ``"span"``
+records by the tracer itself (see :class:`~repro.obs.tracer.Span`).
+
+The payloads mirror what the paper reports per iteration (Tables 1-5,
+Figs 8-10): residue trajectory, volumes, action gains, seed shapes --
+so a trace is a machine-readable convergence record rather than an
+opaque end-of-run aggregate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, Optional
+
+__all__ = ["TraceEvent", "IterationEvent", "ActionEvent", "SeedEvent"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base class: a typed event that serializes to a flat dict."""
+
+    #: Event discriminator -- overridden per subclass.
+    type: str = "event"
+
+    def to_dict(self) -> Dict[str, object]:
+        """Flat, JSON-friendly representation (numpy scalars coerced)."""
+        out: Dict[str, object] = {}
+        for key, value in asdict(self).items():
+            if value is None:
+                continue
+            if isinstance(value, bool):
+                out[key] = value
+            elif hasattr(value, "item"):  # numpy scalar
+                out[key] = value.item()
+            else:
+                out[key] = value
+        return out
+
+
+@dataclass(frozen=True)
+class IterationEvent(TraceEvent):
+    """One Phase-2 iteration completed.
+
+    ``residue`` is the average residue of the best clustering after the
+    iteration -- by construction identical to the corresponding entry of
+    :attr:`repro.core.floc.FlocResult.history`.  ``score`` is the raw
+    objective value (equal to ``residue`` in paper-literal mode, the
+    feasibility-weighted volume score in r-residue mode).
+    """
+
+    type: str = "iteration"
+    index: int = 0
+    residue: float = 0.0
+    score: float = 0.0
+    total_volume: int = 0
+    n_actions: int = 0
+    improved: bool = False
+    elapsed_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class ActionEvent(TraceEvent):
+    """One membership toggle was performed.
+
+    ``gain`` is the gain that selected the action; ``residue`` and
+    ``volume`` describe the acted cluster *after* the toggle.
+    """
+
+    type: str = "action"
+    kind: str = "row"
+    index: int = 0
+    cluster: int = 0
+    is_removal: bool = False
+    gain: float = 0.0
+    residue: float = 0.0
+    volume: int = 0
+
+
+@dataclass(frozen=True)
+class SeedEvent(TraceEvent):
+    """A cluster slot received a fresh seed.
+
+    ``origin`` is ``"phase1"`` for the initial draw and ``"reseed"`` when
+    a dead/duplicate slot was replaced between Phase-2 rounds.  Residue
+    and volume are measured against the data matrix (``None`` when the
+    emitter has not evaluated the seed yet).
+    """
+
+    type: str = "seed"
+    cluster: int = 0
+    origin: str = "phase1"
+    n_rows: int = 0
+    n_cols: int = 0
+    residue: Optional[float] = None
+    volume: Optional[int] = None

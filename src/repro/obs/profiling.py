@@ -1,0 +1,147 @@
+"""Lightweight function profiling for the core numeric primitives.
+
+``@profiled`` wraps a function with wall-clock + CPU-time accounting
+that is dormant until :func:`enable_profiling` is called -- the disabled
+cost is one module-flag check per call, cheap enough to leave on the
+residue/action primitives permanently.  Unlike ``cProfile`` this tracks
+only the decorated functions (the ones the Section 4.2 complexity
+analysis is about) and therefore adds no interpreter-wide overhead.
+
+Usage::
+
+    from repro.obs import enable_profiling, profile_report
+
+    enable_profiling()
+    floc(matrix, k=10, rng=0)
+    print(profile_report())
+
+Profiling is orthogonal to tracing: it needs no tracer object, so a
+quick "where does the time go" session is two lines.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Callable, Dict, List
+
+__all__ = [
+    "profiled",
+    "enable_profiling",
+    "disable_profiling",
+    "reset_profile",
+    "profiling_enabled",
+    "profile_snapshot",
+    "profile_report",
+]
+
+
+class _ProfileStat:
+    __slots__ = ("name", "calls", "wall_s", "cpu_s")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.calls = 0
+        self.wall_s = 0.0
+        self.cpu_s = 0.0
+
+    def add(self, wall: float, cpu: float) -> None:
+        self.calls += 1
+        self.wall_s += wall
+        self.cpu_s += cpu
+
+
+_STATS: Dict[str, _ProfileStat] = {}
+_ENABLED = False
+
+
+def enable_profiling() -> None:
+    """Start accounting calls of every ``@profiled`` function."""
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable_profiling() -> None:
+    """Stop accounting; already-collected statistics are kept."""
+    global _ENABLED
+    _ENABLED = False
+
+
+def profiling_enabled() -> bool:
+    """Whether ``@profiled`` functions are currently being accounted."""
+    return _ENABLED
+
+
+def reset_profile() -> None:
+    """Zero all accumulated statistics (registrations are kept)."""
+    for stat in _STATS.values():
+        stat.calls = 0
+        stat.wall_s = 0.0
+        stat.cpu_s = 0.0
+
+
+def profiled(func: Callable) -> Callable:
+    """Decorator: account wall/CPU time of ``func`` when profiling is on."""
+    name = f"{func.__module__}.{func.__qualname__}"
+    stat = _STATS.get(name)
+    if stat is None:
+        stat = _STATS[name] = _ProfileStat(name)
+
+    @functools.wraps(func)
+    def wrapper(*args, **kwargs):
+        if not _ENABLED:
+            return func(*args, **kwargs)
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        try:
+            return func(*args, **kwargs)
+        finally:
+            stat.add(
+                time.perf_counter() - wall0, time.process_time() - cpu0
+            )
+
+    wrapper.__profile_stat__ = stat
+    return wrapper
+
+
+def profile_snapshot() -> Dict[str, Dict[str, float]]:
+    """Per-function totals: ``{name: {calls, wall_s, cpu_s, wall_us_per_call}}``."""
+    out: Dict[str, Dict[str, float]] = {}
+    for name, stat in _STATS.items():
+        if stat.calls == 0:
+            continue
+        out[name] = {
+            "calls": stat.calls,
+            "wall_s": stat.wall_s,
+            "cpu_s": stat.cpu_s,
+            "wall_us_per_call": 1e6 * stat.wall_s / stat.calls,
+        }
+    return out
+
+
+def profile_report() -> str:
+    """Rendered table of the snapshot, heaviest wall time first."""
+    snapshot = profile_snapshot()
+    if not snapshot:
+        return "profile: no samples (is profiling enabled?)"
+    headers = ["function", "calls", "wall_s", "cpu_s", "us/call"]
+    rows: List[List[str]] = [
+        [
+            name,
+            str(int(entry["calls"])),
+            f"{entry['wall_s']:.4f}",
+            f"{entry['cpu_s']:.4f}",
+            f"{entry['wall_us_per_call']:.1f}",
+        ]
+        for name, entry in sorted(
+            snapshot.items(), key=lambda item: -item[1]["wall_s"]
+        )
+    ]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows))
+        for i in range(len(headers))
+    ]
+    def fmt(row: List[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+    rule = "  ".join("-" * w for w in widths)
+    return "\n".join([fmt(headers), rule] + [fmt(row) for row in rows])

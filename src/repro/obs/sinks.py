@@ -1,0 +1,179 @@
+"""Trace sinks: where emitted records go.
+
+A sink is anything with ``write(record: dict)`` (and optionally
+``close()``).  Three implementations cover the common needs:
+
+* :class:`RingBufferSink` -- bounded in-memory buffer for tests and
+  programmatic inspection;
+* :class:`JsonlSink` -- one JSON object per line, the machine-readable
+  trace format (:func:`read_jsonl` loads it back);
+* :class:`ConsoleProgressSink` -- human-readable one-line-per-iteration
+  progress reporting for long interactive runs.
+
+Records are flat dicts produced by the tracer (typed events merged with
+the tracer context); sinks must not mutate them.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import deque
+from pathlib import Path
+from typing import Dict, IO, List, Optional, Union
+
+__all__ = [
+    "Sink",
+    "RingBufferSink",
+    "JsonlSink",
+    "ConsoleProgressSink",
+    "read_jsonl",
+]
+
+
+class Sink:
+    """Interface: override :meth:`write`; :meth:`close` is optional."""
+
+    def write(self, record: Dict[str, object]) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+
+class RingBufferSink(Sink):
+    """Keep the newest ``capacity`` records in memory."""
+
+    def __init__(self, capacity: int = 10000) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._buffer: deque = deque(maxlen=capacity)
+
+    def write(self, record: Dict[str, object]) -> None:
+        self._buffer.append(record)
+
+    @property
+    def records(self) -> List[Dict[str, object]]:
+        return list(self._buffer)
+
+    def by_type(self, kind: str) -> List[Dict[str, object]]:
+        """All buffered records whose ``type`` equals ``kind``."""
+        return [r for r in self._buffer if r.get("type") == kind]
+
+    def clear(self) -> None:
+        self._buffer.clear()
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+def _jsonable(value: object) -> object:
+    """Coerce numpy scalars/arrays so ``json.dumps`` never chokes."""
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        try:
+            return value.item()
+        except (ValueError, AttributeError):
+            pass
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    return str(value)
+
+
+class JsonlSink(Sink):
+    """Append records to a file as JSON Lines.
+
+    Accepts a path (opened for writing, truncating) or an already-open
+    text stream (left open on :meth:`close` unless owned).
+    """
+
+    def __init__(self, target: Union[str, Path, IO[str]]) -> None:
+        if hasattr(target, "write"):
+            self._stream: Optional[IO[str]] = target  # type: ignore[assignment]
+            self._owns = False
+            self.path: Optional[Path] = None
+        else:
+            self.path = Path(target)
+            self._stream = self.path.open("w", encoding="utf-8")
+            self._owns = True
+        self.n_written = 0
+
+    def write(self, record: Dict[str, object]) -> None:
+        if self._stream is None:
+            raise ValueError("JsonlSink is closed")
+        self._stream.write(json.dumps(record, default=_jsonable) + "\n")
+        self.n_written += 1
+
+    def close(self) -> None:
+        if self._stream is None:
+            return
+        self._stream.flush()
+        if self._owns:
+            self._stream.close()
+            self._stream = None
+
+
+def read_jsonl(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Load a JSONL trace back into a list of record dicts."""
+    records: List[Dict[str, object]] = []
+    with Path(path).open("r", encoding="utf-8") as stream:
+        for line_number, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: invalid JSONL record: {exc}"
+                ) from exc
+    return records
+
+
+class ConsoleProgressSink(Sink):
+    """Human-readable progress lines on a text stream (stderr default).
+
+    Prints one line per iteration event, plus compact notices for seeds
+    and restarts.  Action events are counted, not printed (a run can
+    perform thousands).
+    """
+
+    def __init__(self, stream: Optional[IO[str]] = None) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        self._n_actions = 0
+        self._n_seeds = 0
+        self._last_restart: Optional[object] = None
+
+    def _print(self, text: str) -> None:
+        self._stream.write(text + "\n")
+        self._stream.flush()
+
+    def write(self, record: Dict[str, object]) -> None:
+        kind = record.get("type")
+        restart = record.get("restart")
+        if restart is not None and restart != self._last_restart:
+            self._last_restart = restart
+            self._print(f"-- restart {restart} --")
+        if kind == "action":
+            self._n_actions += 1
+        elif kind == "seed":
+            self._n_seeds += 1
+            origin = record.get("origin", "phase1")
+            if origin != "phase1":
+                self._print(
+                    f"  reseed cluster {record.get('cluster')}: "
+                    f"{record.get('n_rows')}x{record.get('n_cols')}"
+                )
+        elif kind == "iteration":
+            improved = "+" if record.get("improved") else "="
+            self._print(
+                f"  iter {record.get('index'):>3} [{improved}] "
+                f"residue {record.get('residue'):.6g}  "
+                f"volume {record.get('total_volume')}  "
+                f"actions {record.get('n_actions')}  "
+                f"({record.get('elapsed_s', 0.0):.3f}s)"
+            )
+
+    def close(self) -> None:
+        self._print(
+            f"trace: {self._n_seeds} seeds, {self._n_actions} actions total"
+        )

@@ -1,0 +1,94 @@
+"""CLI observability flags: --trace / --progress / --metrics smoke tests.
+
+The acceptance contract: ``repro mine --trace out.jsonl --progress``
+emits a valid JSONL trace whose per-iteration residues exactly match the
+``FlocResult.history`` of the equivalent API run, and tracing does not
+change what the CLI mines.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.mining import mine_delta_clusters
+from repro.data.io import load_matrix_npz
+from repro.obs import read_jsonl
+
+pytestmark = pytest.mark.obs
+
+MINE_ARGS = [
+    "--target", "2.0", "--k", "3", "--restarts", "2",
+    "--reseed-rounds", "2", "--seed", "9",
+]
+
+
+@pytest.fixture(scope="module")
+def matrix_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("obs_cli") / "matrix.npz"
+    code = main([
+        "generate", "synthetic",
+        "--rows", "80", "--cols", "18", "--clusters", "2",
+        "--cluster-rows", "12", "--cluster-cols", "6",
+        "--noise", "1", "--seed", "4", "--out", str(path),
+    ])
+    assert code == 0
+    return path
+
+
+def test_trace_and_progress_smoke(matrix_path, tmp_path, capsys):
+    trace_path = tmp_path / "out.jsonl"
+    code = main([
+        "mine", str(matrix_path), *MINE_ARGS,
+        "--trace", str(trace_path), "--progress", "--metrics",
+    ])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert f"trace written to {trace_path}" in captured.out
+    assert "run metrics" in captured.out
+    assert "actions_performed" in captured.out
+    assert "iter" in captured.err  # progress goes to stderr
+
+    # Every line of the trace is a JSON object with a type.
+    with trace_path.open() as stream:
+        lines = [line for line in stream if line.strip()]
+    assert lines
+    for line in lines:
+        record = json.loads(line)
+        assert record["type"] in {"seed", "action", "iteration"}
+
+
+def test_trace_residues_match_history(matrix_path, tmp_path):
+    trace_path = tmp_path / "out.jsonl"
+    code = main([
+        "mine", str(matrix_path), *MINE_ARGS, "--trace", str(trace_path),
+    ])
+    assert code == 0
+    records = read_jsonl(trace_path)
+
+    # The equivalent API session (same defaults as cmd_mine, same seed).
+    result = mine_delta_clusters(
+        load_matrix_npz(matrix_path),
+        residue_target=2.0, k=3, n_restarts=2, max_clusters=None,
+        min_rows=3, min_cols=3, alpha=0.0, p=0.2, reseed_rounds=2, rng=9,
+    )
+    for restart, run in enumerate(result.runs):
+        residues = [
+            r["residue"] for r in records
+            if r["type"] == "iteration" and r["restart"] == restart
+        ]
+        assert residues == run.history
+        assert len(run.iteration_times) == len(run.history)
+
+
+def test_tracing_does_not_change_mined_clusters(matrix_path, tmp_path):
+    plain_out = tmp_path / "plain.txt"
+    traced_out = tmp_path / "traced.txt"
+    assert main([
+        "mine", str(matrix_path), *MINE_ARGS, "--out", str(plain_out),
+    ]) == 0
+    assert main([
+        "mine", str(matrix_path), *MINE_ARGS, "--out", str(traced_out),
+        "--trace", str(tmp_path / "t.jsonl"), "--metrics",
+    ]) == 0
+    assert plain_out.read_text() == traced_out.read_text()

@@ -1,0 +1,107 @@
+"""The @profiled decorator and the profile report."""
+
+import numpy as np
+import pytest
+
+from repro.core.residue import mean_abs_residue
+from repro.obs import (
+    disable_profiling,
+    enable_profiling,
+    profile_report,
+    profile_snapshot,
+    profiled,
+    profiling_enabled,
+    reset_profile,
+)
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture(autouse=True)
+def clean_profile():
+    disable_profiling()
+    reset_profile()
+    yield
+    disable_profiling()
+    reset_profile()
+
+
+class TestProfiled:
+    def test_disabled_by_default(self):
+        @profiled
+        def work(x):
+            return x + 1
+
+        assert not profiling_enabled()
+        assert work(1) == 2
+        assert work.__profile_stat__.calls == 0
+
+    def test_enabled_accounts_calls(self):
+        @profiled
+        def work(x):
+            return x * 2
+
+        enable_profiling()
+        for value in range(5):
+            work(value)
+        stat = work.__profile_stat__
+        assert stat.calls == 5
+        assert stat.wall_s >= 0.0
+        assert stat.cpu_s >= 0.0
+
+    def test_wraps_preserves_metadata_and_result(self):
+        @profiled
+        def documented(x):
+            """docstring survives"""
+            return x
+
+        assert documented.__name__ == "documented"
+        assert documented.__doc__ == "docstring survives"
+        enable_profiling()
+        assert documented("value") == "value"
+
+    def test_exceptions_still_accounted(self):
+        @profiled
+        def broken():
+            raise RuntimeError("boom")
+
+        enable_profiling()
+        with pytest.raises(RuntimeError):
+            broken()
+        assert broken.__profile_stat__.calls == 1
+
+    def test_core_primitives_are_profiled(self):
+        enable_profiling()
+        sub = np.arange(12.0).reshape(3, 4)
+        mean_abs_residue(sub)
+        snapshot = profile_snapshot()
+        assert any("mean_abs_residue" in name for name in snapshot)
+        assert any("compute_bases" in name for name in snapshot)
+
+
+class TestReport:
+    def test_empty_report(self):
+        assert "no samples" in profile_report()
+
+    def test_report_lists_heavy_functions(self):
+        enable_profiling()
+        sub = np.arange(30.0).reshape(5, 6)
+        for __ in range(3):
+            mean_abs_residue(sub)
+        report = profile_report()
+        assert "mean_abs_residue" in report
+        assert "calls" in report and "wall_s" in report
+
+    def test_snapshot_shape(self):
+        enable_profiling()
+        mean_abs_residue(np.ones((3, 3)))
+        for entry in profile_snapshot().values():
+            assert set(entry) == {
+                "calls", "wall_s", "cpu_s", "wall_us_per_call"
+            }
+
+    def test_reset_zeroes_stats(self):
+        enable_profiling()
+        mean_abs_residue(np.ones((3, 3)))
+        reset_profile()
+        assert profile_snapshot() == {}

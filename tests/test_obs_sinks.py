@@ -1,0 +1,132 @@
+"""Sinks: ring buffer bounds, JSONL round-trip, console progress format."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    ConsoleProgressSink,
+    IterationEvent,
+    JsonlSink,
+    RingBufferSink,
+    SeedEvent,
+    Tracer,
+    read_jsonl,
+)
+
+pytestmark = pytest.mark.obs
+
+
+class TestRingBuffer:
+    def test_keeps_newest_records(self):
+        sink = RingBufferSink(capacity=3)
+        for index in range(5):
+            sink.write({"type": "action", "index": index})
+        assert len(sink) == 3
+        assert [r["index"] for r in sink.records] == [2, 3, 4]
+
+    def test_by_type_filters(self):
+        sink = RingBufferSink()
+        sink.write({"type": "action"})
+        sink.write({"type": "iteration"})
+        assert len(sink.by_type("action")) == 1
+        sink.clear()
+        assert sink.records == []
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+
+
+class TestJsonl:
+    def test_round_trip_through_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        tracer = Tracer(sinks=[sink])
+        tracer.push_context(restart=0)
+        tracer.emit(SeedEvent(cluster=0, n_rows=4, n_cols=3, residue=0.5,
+                              volume=12))
+        tracer.emit(IterationEvent(index=0, residue=1.25, total_volume=40,
+                                   n_actions=7, improved=True,
+                                   elapsed_s=0.01))
+        tracer.close()
+        records = read_jsonl(path)
+        assert len(records) == 2
+        assert records[0] == {
+            "type": "seed", "cluster": 0, "origin": "phase1", "n_rows": 4,
+            "n_cols": 3, "residue": 0.5, "volume": 12, "restart": 0,
+        }
+        assert records[1]["residue"] == 1.25
+        assert records[1]["improved"] is True
+
+    def test_numpy_payloads_serialize(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        sink.write({"type": "x", "a": np.int64(3), "b": np.float64(1.5)})
+        sink.close()
+        [record] = read_jsonl(path)
+        assert record == {"type": "x", "a": 3, "b": 1.5}
+
+    def test_every_line_is_valid_json(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        for index in range(20):
+            sink.write({"type": "action", "index": index})
+        sink.close()
+        with path.open() as stream:
+            lines = [line for line in stream if line.strip()]
+        assert len(lines) == 20
+        for line in lines:
+            json.loads(line)
+
+    def test_write_after_close_raises(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.close()
+        with pytest.raises(ValueError):
+            sink.write({"type": "x"})
+
+    def test_read_jsonl_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(ValueError, match="invalid JSONL"):
+            read_jsonl(path)
+
+    def test_external_stream_left_open(self):
+        buffer = io.StringIO()
+        sink = JsonlSink(buffer)
+        sink.write({"type": "x"})
+        sink.close()
+        assert not buffer.closed
+        assert json.loads(buffer.getvalue()) == {"type": "x"}
+
+
+class TestConsoleProgress:
+    def test_prints_iterations_and_summary(self):
+        stream = io.StringIO()
+        sink = ConsoleProgressSink(stream=stream)
+        sink.write({"type": "seed", "cluster": 0, "origin": "phase1",
+                    "n_rows": 4, "n_cols": 3})
+        sink.write({"type": "action", "kind": "row", "index": 1})
+        sink.write({"type": "iteration", "index": 0, "residue": 2.5,
+                    "total_volume": 60, "n_actions": 12, "improved": True,
+                    "elapsed_s": 0.05})
+        sink.close()
+        output = stream.getvalue()
+        assert "iter   0 [+] residue 2.5" in output
+        assert "actions 12" in output
+        assert "1 seeds, 1 actions total" in output
+
+    def test_announces_restarts_and_reseeds(self):
+        stream = io.StringIO()
+        sink = ConsoleProgressSink(stream=stream)
+        sink.write({"type": "iteration", "index": 0, "residue": 1.0,
+                    "total_volume": 10, "n_actions": 1, "improved": False,
+                    "elapsed_s": 0.0, "restart": 0})
+        sink.write({"type": "seed", "cluster": 2, "origin": "reseed",
+                    "n_rows": 5, "n_cols": 4, "restart": 1})
+        output = stream.getvalue()
+        assert "-- restart 0 --" in output
+        assert "-- restart 1 --" in output
+        assert "reseed cluster 2: 5x4" in output
