@@ -38,6 +38,7 @@ import numpy as np
 
 from ..core.cluster import DeltaCluster
 from ..core.matrix import DataMatrix
+from ..core.rng import RngLike, resolve_rng
 from ..core.residue import compute_bases
 
 __all__ = [
@@ -332,7 +333,7 @@ def find_biclusters(
     threshold: float = 1.2,
     include_inverted_rows: bool = False,
     mask_range: Optional[Tuple[float, float]] = None,
-    rng: Union[None, int, np.random.Generator] = None,
+    rng: RngLike = None,
     min_rows_for_batch: int = 100,
     min_cols_for_batch: int = 100,
 ) -> ChengChurchResult:
@@ -359,11 +360,7 @@ def find_biclusters(
     values = (
         matrix.values if isinstance(matrix, DataMatrix) else np.asarray(matrix)
     ).astype(np.float64, copy=True)
-    generator = (
-        rng
-        if isinstance(rng, np.random.Generator)
-        else np.random.default_rng(rng)
-    )
+    generator = resolve_rng(rng)
     specified = values[~np.isnan(values)]
     if specified.size == 0:
         raise ValueError("matrix has no specified entries")
@@ -389,7 +386,7 @@ def find_biclusters(
 
 def fill_missing_with_random(
     matrix: Union[DataMatrix, np.ndarray],
-    rng: Union[None, int, np.random.Generator] = None,
+    rng: RngLike = None,
     fill_range: Optional[Tuple[float, float]] = None,
 ) -> DataMatrix:
     """Replace missing entries with uniform random values.
@@ -403,11 +400,7 @@ def fill_missing_with_random(
     ).astype(np.float64, copy=True)
     missing = np.isnan(values)
     if missing.any():
-        generator = (
-            rng
-            if isinstance(rng, np.random.Generator)
-            else np.random.default_rng(rng)
-        )
+        generator = resolve_rng(rng)
         specified = values[~missing]
         if fill_range is None:
             if specified.size == 0:

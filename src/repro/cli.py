@@ -22,14 +22,14 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from .core.matrix import DataMatrix
 from .core.mining import mine_delta_clusters
 from .core.predict import predict_entry
-from .obs import ConsoleProgressSink, JsonlSink, MetricsRegistry, Tracer
+from .obs import ConsoleProgressSink, JsonlSink, MetricsRegistry, Sink, Tracer
 from .data.io import (
     load_clusters,
     load_matrix_csv,
@@ -43,7 +43,15 @@ from .data.synthetic import generate_embedded
 from .eval.metrics import recall_precision
 from .eval.reporting import format_table
 
-__all__ = ["main", "build_parser"]
+__all__ = [
+    "build_parser",
+    "cmd_evaluate",
+    "cmd_generate",
+    "cmd_lint",
+    "cmd_mine",
+    "cmd_predict",
+    "main",
+]
 
 
 def _load_matrix(path: str) -> DataMatrix:
@@ -60,7 +68,7 @@ def _load_matrix(path: str) -> DataMatrix:
 # ----------------------------------------------------------------------
 def _build_tracer(args: argparse.Namespace) -> Optional[Tracer]:
     """Tracer for ``mine`` per the --trace/--progress/--metrics flags."""
-    sinks = []
+    sinks: List[Sink] = []
     if getattr(args, "trace", None):
         sinks.append(JsonlSink(args.trace))
     if getattr(args, "progress", False):
@@ -71,7 +79,7 @@ def _build_tracer(args: argparse.Namespace) -> Optional[Tracer]:
     return Tracer(sinks=sinks, metrics=metrics)
 
 
-def _print_metrics(snapshot: dict) -> None:
+def _print_metrics(snapshot: Dict[str, Any]) -> None:
     rows = []
     for name, value in snapshot["counters"].items():
         rows.append([name, "counter", value])
@@ -87,6 +95,7 @@ def _print_metrics(snapshot: dict) -> None:
 
 
 def cmd_mine(args: argparse.Namespace) -> int:
+    """Mine delta-clusters from a matrix file and print/save them."""
     matrix = _load_matrix(args.matrix)
     tracer = _build_tracer(args)
     try:
@@ -137,6 +146,7 @@ def cmd_mine(args: argparse.Namespace) -> int:
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
+    """Generate a synthetic / movielens / yeast workload matrix."""
     if args.kind == "synthetic":
         dataset = generate_embedded(
             args.rows, args.cols, args.clusters,
@@ -177,6 +187,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
+    """Score stored clusters against a matrix (and optional truth)."""
     matrix = _load_matrix(args.matrix)
     clusters = load_clusters(args.clusters)
     rows = [
@@ -205,6 +216,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def cmd_predict(args: argparse.Namespace) -> int:
+    """Predict one cell's value from the clusters covering it."""
     matrix = _load_matrix(args.matrix)
     clusters = load_clusters(args.clusters)
     covering = [
@@ -231,6 +243,20 @@ def cmd_predict(args: argparse.Namespace) -> int:
         truth = float(matrix.values[args.row, args.col])
         print(f"actual value: {truth:.4f} (abs error {abs(value - truth):.4f})")
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the DCL invariant linter (see :mod:`repro.devtools`)."""
+    from .devtools.lint import main as lint_main
+
+    argv: List[str] = list(args.paths)
+    if args.format != "human":
+        argv += ["--format", args.format]
+    if args.select:
+        argv += ["--select", args.select]
+    if args.list_rules:
+        argv += ["--list-rules"]
+    return lint_main(argv)
 
 
 # ----------------------------------------------------------------------
@@ -300,6 +326,17 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--row", type=int, required=True)
     predict.add_argument("--col", type=int, required=True)
     predict.set_defaults(func=cmd_predict)
+
+    lint = sub.add_parser(
+        "lint", help="run the DCL invariant linter over a source tree"
+    )
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--format", choices=("human", "json"), default="human")
+    lint.add_argument("--select", default=None, metavar="CODES",
+                      help="comma-separated rule codes (e.g. DCL001,DCL005)")
+    lint.add_argument("--list-rules", action="store_true")
+    lint.set_defaults(func=cmd_lint)
 
     return parser
 

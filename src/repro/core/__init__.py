@@ -23,6 +23,7 @@ from .residue import (
     residue_matrix,
     submatrix_residue,
 )
+from .rng import RngLike, resolve_rng
 from .seeding import (
     axis_seeds,
     bernoulli_seeds,
@@ -39,6 +40,7 @@ __all__ = [
     "DeltaCluster",
     "FlocResult",
     "MiningResult",
+    "RngLike",
     "action_slots",
     "axis_seeds",
     "bernoulli_seeds",
@@ -57,6 +59,7 @@ __all__ = [
     "mixed_seeds",
     "random_order",
     "residue_matrix",
+    "resolve_rng",
     "seeds_from_clusters",
     "submatrix_residue",
     "toggle_occupancy_ok",

@@ -60,6 +60,7 @@ from .clustering import Clustering
 from .constraints import Constraints
 from .matrix import DataMatrix
 from .ordering import ORDERINGS, action_slots, make_order
+from .rng import RngLike, resolve_rng
 from .seeding import Seed, bernoulli_seeds, mixed_seeds
 
 __all__ = ["FlocResult", "floc", "GAIN_MODES"]
@@ -424,16 +425,6 @@ def _masked_mean_abs_residue(sub: np.ndarray, sub_mask: np.ndarray) -> float:
     return float(np.abs(np.where(sub_mask, raw, 0.0)).sum() / volume)
 
 
-def _resolve_rng(
-    rng: Union[None, int, np.random.Generator]
-) -> np.random.Generator:
-    if rng is None:
-        return np.random.default_rng()
-    if isinstance(rng, np.random.Generator):
-        return rng
-    return np.random.default_rng(rng)
-
-
 def _build_seeds(
     matrix: DataMatrix,
     k: int,
@@ -496,7 +487,7 @@ def floc(
     reseed_rounds: int = 0,
     constraints: Optional[Constraints] = None,
     seeds: Optional[Sequence[Seed]] = None,
-    rng: Union[None, int, np.random.Generator] = None,
+    rng: RngLike = None,
     max_iterations: int = 100,
     tol: float = 1e-12,
     tracer: Optional[Tracer] = None,
@@ -597,7 +588,7 @@ def floc(
         raise ValueError(f"alpha must be in [0, 1], got {alpha}")
     if max_iterations < 1:
         raise ValueError(f"max_iterations must be >= 1, got {max_iterations}")
-    generator = _resolve_rng(rng)
+    generator = resolve_rng(rng)
     active = constraints if constraints is not None else Constraints()
     if tracer is None:
         tracer = NULL_TRACER

@@ -26,6 +26,7 @@ from .clustering import Clustering
 from .constraints import Constraints
 from .floc import FlocResult, floc
 from .matrix import DataMatrix
+from .rng import RngLike, resolve_rng
 
 __all__ = ["MiningResult", "mine_delta_clusters"]
 
@@ -67,7 +68,7 @@ def mine_delta_clusters(
     reseed_rounds: int = 10,
     ordering: str = "greedy",
     gain_mode: str = "fast",
-    rng: Union[None, int, np.random.Generator] = None,
+    rng: RngLike = None,
     tracer: Optional[Tracer] = None,
 ) -> MiningResult:
     """Mine r-residue delta-clusters with restarts and deduplication.
@@ -111,11 +112,7 @@ def mine_delta_clusters(
         raise ValueError(f"n_restarts must be >= 1, got {n_restarts}")
     if not 0.0 <= max_overlap <= 1.0:
         raise ValueError(f"max_overlap must be in [0, 1], got {max_overlap}")
-    generator = (
-        rng
-        if isinstance(rng, np.random.Generator)
-        else np.random.default_rng(rng)
-    )
+    generator = resolve_rng(rng)
     constraints = Constraints(min_rows=min_rows, min_cols=min_cols)
     if tracer is None:
         tracer = NULL_TRACER

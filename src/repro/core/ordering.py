@@ -33,9 +33,10 @@ __all__ = [
     "ORDERINGS",
     "action_slots",
     "fixed_order",
+    "greedy_order",
+    "make_order",
     "random_order",
     "weighted_order",
-    "make_order",
 ]
 
 #: A slot identifies the row/column whose best action will be performed.

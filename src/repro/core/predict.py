@@ -28,6 +28,7 @@ from .cluster import DeltaCluster
 from .clustering import Clustering
 from .matrix import DataMatrix
 from .residue import compute_bases
+from .rng import RngLike, resolve_rng
 
 __all__ = ["predict_entry", "impute", "prediction_error"]
 
@@ -180,7 +181,7 @@ def prediction_error(
     matrix: DataMatrix,
     cluster: DeltaCluster,
     sample: Optional[Iterable[Tuple[int, int]]] = None,
-    rng: Optional[np.random.Generator] = None,
+    rng: RngLike = None,
     max_cells: int = 200,
 ) -> float:
     """Leave-one-out mean absolute prediction error over cluster cells.
@@ -190,6 +191,11 @@ def prediction_error(
     coherent cluster this error approaches the noise floor; for a junk
     cluster it approaches the data's spread -- making it a useful
     significance check on discovered clusters.
+
+    When ``rng`` is ``None`` the subsample for large clusters is drawn
+    from a fixed seed, so repeated calls on the same cluster agree;
+    pass a :class:`numpy.random.Generator` (or an integer seed) to draw
+    it from an explicit stream instead.
     """
     if cluster.is_empty:
         raise ValueError("cannot evaluate an empty cluster")
@@ -202,7 +208,7 @@ def prediction_error(
             for i, j in zip(*np.nonzero(sub_mask))
         ]
         if len(specified) > max_cells:
-            generator = rng if rng is not None else np.random.default_rng()
+            generator = resolve_rng(rng, default_seed=0)
             picks = generator.choice(len(specified), size=max_cells, replace=False)
             specified = [specified[p] for p in picks]
         sample = specified

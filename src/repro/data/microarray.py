@@ -21,12 +21,13 @@ genes, plus optional missing entries.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple, Union
+from typing import List, Tuple
 
 import numpy as np
 
 from ..core.cluster import DeltaCluster
 from ..core.matrix import DataMatrix
+from ..core.rng import RngLike
 from .synthetic import SyntheticDataset, generate_embedded
 
 __all__ = [
@@ -36,6 +37,7 @@ __all__ = [
     "figure4_matrix",
     "figure4_cluster",
     "generate_yeast_like",
+    "YeastDataset",
 ]
 
 #: Gene names of the Figure 4 excerpt, in row order.
@@ -107,7 +109,7 @@ def generate_yeast_like(
     module_shape: Tuple[int, int] = (25, 8),
     noise: float = 8.0,
     missing_fraction: float = 0.0,
-    rng: Union[None, int, np.random.Generator] = None,
+    rng: RngLike = None,
 ) -> YeastDataset:
     """Generate a matrix shaped like the Tavazoie yeast data.
 

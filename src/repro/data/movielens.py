@@ -25,12 +25,13 @@ signature genres).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple, Union
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
 from ..core.cluster import DeltaCluster
 from ..core.matrix import DataMatrix
+from ..core.rng import RngLike, resolve_rng
 
 __all__ = ["MovieLensDataset", "generate_ratings", "DEFAULT_GENRES"]
 
@@ -89,7 +90,7 @@ def generate_ratings(
     min_ratings: int = 20,
     rating_noise: float = 0.4,
     integer_ratings: bool = True,
-    rng: Union[None, int, np.random.Generator] = None,
+    rng: RngLike = None,
 ) -> MovieLensDataset:
     """Generate the MovieLens-like workload.
 
@@ -140,11 +141,7 @@ def generate_ratings(
             f"signature_genres must be in [1, {len(genres)}], "
             f"got {signature_genres}"
         )
-    generator = (
-        rng
-        if isinstance(rng, np.random.Generator)
-        else np.random.default_rng(rng)
-    )
+    generator = resolve_rng(rng)
     genre_names = tuple(genres)
     n_genres = len(genre_names)
 

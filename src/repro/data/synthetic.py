@@ -24,6 +24,7 @@ import numpy as np
 
 from ..core.cluster import DeltaCluster
 from ..core.matrix import DataMatrix
+from ..core.rng import RngLike, resolve_rng
 from .distributions import erlang_volumes
 
 __all__ = ["SyntheticDataset", "generate_embedded", "volumes_to_shapes"]
@@ -106,7 +107,7 @@ def generate_embedded(
     missing_fraction: float = 0.0,
     background_range: Tuple[float, float] = (0.0, 600.0),
     offset_range: Tuple[float, float] = (-100.0, 100.0),
-    rng: Union[None, int, np.random.Generator] = None,
+    rng: RngLike = None,
 ) -> SyntheticDataset:
     """Generate a matrix with ``n_clusters`` planted delta-clusters.
 
@@ -161,11 +162,7 @@ def generate_embedded(
         raise ValueError(f"noise must be >= 0, got {noise}")
     if mean_volume is not None and cluster_shape is not None:
         raise ValueError("pass either mean_volume or cluster_shape, not both")
-    generator = (
-        rng
-        if isinstance(rng, np.random.Generator)
-        else np.random.default_rng(rng)
-    )
+    generator = resolve_rng(rng)
 
     lo, hi = background_range
     if hi <= lo:

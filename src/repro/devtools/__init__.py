@@ -1,0 +1,50 @@
+"""Developer tooling: the DCL invariant linter (``repro lint``).
+
+FLOC's correctness rests on invariants the test suite can only
+spot-check -- determinism (every stochastic path threads an explicit
+:class:`numpy.random.Generator`), the tracer clock seam, count-aware
+residue math on matrices with missing entries, and ``__all__`` hygiene.
+:mod:`repro.devtools.lint` checks them statically::
+
+    python -m repro.devtools.lint src/
+    repro lint --format json src/
+
+See ``docs/DEVELOPMENT.md`` for the rule catalogue and the rationale
+behind each invariant.
+
+Re-exports are lazy (PEP 562) so ``python -m repro.devtools.lint``
+does not import the submodule twice (runpy would warn).
+"""
+
+from typing import List
+
+__all__ = [
+    "FileContext",
+    "LintReport",
+    "RULES",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "collect_files",
+    "lint_paths",
+    "lint_source",
+    "main",
+]
+
+_FROM_RULES = {"FileContext", "RULES", "Rule", "Violation", "all_rules"}
+
+
+def __getattr__(name: str) -> object:
+    if name in _FROM_RULES:
+        from . import rules
+
+        return getattr(rules, name)
+    if name in __all__:
+        from . import lint
+
+        return getattr(lint, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> List[str]:
+    return sorted(__all__)

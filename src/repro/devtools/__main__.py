@@ -1,0 +1,8 @@
+"""``python -m repro.devtools`` entry point (alias for the linter)."""
+
+import sys
+
+from .lint import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,236 @@
+"""The linter engine and CLI: ``python -m repro.devtools.lint src/``.
+
+Walks the given files/directories, parses every ``*.py`` file once,
+runs the applicable :mod:`repro.devtools.rules` over each AST, applies
+suppression comments, and reports in a human (``path:line:col: CODE
+message``) or JSON format.  Exit status is 0 when the tree is clean,
+1 when violations were found, 2 on usage errors.
+
+Suppression syntax
+------------------
+``# dcl: disable=DCL001`` (comma-separate multiple codes, or ``all``):
+
+* on its own line -- disables the code(s) for the whole file; put it
+  near the top with a short justification, as :mod:`repro.core.rng`
+  does for its sanctioned RNG-construction seam;
+* trailing a statement -- disables the code(s) for that line only.
+
+The library surface (:func:`lint_source`, :func:`lint_paths`) is what
+the self-tests use: fixture snippets go through :func:`lint_source`
+with a fake path, so path-scoped rules (DCL002/DCL003/DCL004 apply to
+``repro/core/`` only) can be exercised without touching disk.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .rules import FileContext, Rule, Violation, all_rules
+
+__all__ = [
+    "LintReport",
+    "build_parser",
+    "collect_files",
+    "lint_paths",
+    "lint_source",
+    "main",
+]
+
+_SUPPRESS_RE = re.compile(r"#\s*dcl:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+class LintReport:
+    """Violations plus the bookkeeping the CLI prints."""
+
+    def __init__(self) -> None:
+        self.violations: List[Violation] = []
+        self.files_checked: int = 0
+        self.parse_errors: List[Tuple[str, str]] = []
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations and not self.parse_errors
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "files_checked": self.files_checked,
+            "violations": [v.to_dict() for v in self.violations],
+            "parse_errors": [
+                {"path": path, "error": error}
+                for path, error in self.parse_errors
+            ],
+        }
+
+
+def _parse_suppressions(source: str) -> Tuple[Set[str], Dict[int, Set[str]]]:
+    """Extract ``# dcl: disable=...`` comments.
+
+    Returns ``(file_level_codes, {lineno: codes})``.  A directive on a
+    line of its own (only whitespace before the ``#``) is file-level;
+    a trailing directive is line-level.  ``all`` disables every rule.
+    """
+    file_level: Set[str] = set()
+    by_line: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if not match:
+            continue
+        codes = {
+            code.strip().upper()
+            for code in match.group(1).split(",")
+            if code.strip()
+        }
+        if line[: match.start()].strip() in ("", "#"):
+            file_level |= codes
+        else:
+            by_line.setdefault(lineno, set()).update(codes)
+    return file_level, by_line
+
+
+def _suppressed(
+    violation: Violation,
+    file_level: Set[str],
+    by_line: Dict[int, Set[str]],
+) -> bool:
+    for codes in (file_level, by_line.get(violation.line, set())):
+        if "ALL" in codes or violation.rule in codes:
+            return True
+    return False
+
+
+def lint_source(
+    source: str,
+    path: str,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Violation]:
+    """Lint one in-memory file; ``path`` drives the path-scoped rules."""
+    if rules is None:
+        rules = all_rules()
+    ctx = FileContext(path, source)
+    file_level, by_line = _parse_suppressions(source)
+    found: List[Violation] = []
+    for rule in rules:
+        if not rule.applies(ctx.path):
+            continue
+        for violation in rule.check(ctx):
+            if not _suppressed(violation, file_level, by_line):
+                found.append(violation)
+    found.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return found
+
+
+def collect_files(paths: Iterable[str]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``*.py`` files."""
+    out: Set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for sub in path.rglob("*.py"):
+                if any(
+                    part.startswith(".") or part == "__pycache__"
+                    for part in sub.parts
+                ):
+                    continue
+                out.add(sub)
+        elif path.suffix == ".py":
+            out.add(path)
+        elif not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+    return sorted(out)
+
+
+def lint_paths(
+    paths: Iterable[str],
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintReport:
+    """Lint every ``*.py`` file under ``paths``."""
+    if rules is None:
+        rules = all_rules()
+    report = LintReport()
+    for path in collect_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            report.parse_errors.append((str(path), str(exc)))
+            continue
+        report.files_checked += 1
+        try:
+            report.violations.extend(lint_source(source, str(path), rules))
+        except SyntaxError as exc:
+            report.parse_errors.append((str(path), f"syntax error: {exc}"))
+    report.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return report
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse parser for ``repro lint``."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "AST-based invariant linter for the repro tree "
+            "(determinism, clock seam, count-aware residue math, "
+            "RNG threading, __all__ hygiene)"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule registry and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(list(argv) if argv is not None else None)
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.summary}")
+        return 0
+    try:
+        rules = all_rules(
+            args.select.split(",") if args.select else None
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        report = lint_paths(args.paths, rules)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        for violation in report.violations:
+            print(violation.render())
+        for path, error in report.parse_errors:
+            print(f"{path}:1:0: PARSE {error}")
+        status = "clean" if report.clean else (
+            f"{len(report.violations)} violation(s)"
+        )
+        print(
+            f"checked {report.files_checked} file(s): {status}",
+            file=sys.stderr,
+        )
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -17,13 +17,20 @@ import numpy as np
 
 from ..core.constraints import Constraints
 from ..core.floc import floc
+from ..core.rng import RngLike, resolve_rng
 from ..core.seeding import Seed, volume_seeds
 from ..obs.tracer import NULL_TRACER, Tracer
 from ..data.distributions import erlang_volumes
 from ..data.synthetic import SyntheticDataset, generate_embedded
 from .metrics import recall_precision
 
-__all__ = ["ExperimentConfig", "TrialResult", "run_trial", "run_trials"]
+__all__ = [
+    "ExperimentConfig",
+    "TrialResult",
+    "generate_workload",
+    "run_trial",
+    "run_trials",
+]
 
 
 @dataclass(frozen=True)
@@ -59,7 +66,7 @@ class ExperimentConfig:
     constraints: Optional[Constraints] = None
     max_iterations: int = 60
 
-    def with_overrides(self, **kwargs) -> "ExperimentConfig":
+    def with_overrides(self, **kwargs: object) -> "ExperimentConfig":
         """A modified copy -- convenient for parameter sweeps."""
         return replace(self, **kwargs)
 
@@ -120,7 +127,7 @@ def generate_workload(
 
 def run_trial(
     config: ExperimentConfig,
-    rng: Union[None, int, np.random.Generator] = None,
+    rng: RngLike = None,
     tracer: Optional[Tracer] = None,
 ) -> TrialResult:
     """Generate one workload, run FLOC on it, measure everything.
@@ -129,11 +136,7 @@ def run_trial(
     trial additionally yields the full convergence event stream; the
     returned record is unchanged by tracing.
     """
-    generator = (
-        rng
-        if isinstance(rng, np.random.Generator)
-        else np.random.default_rng(rng)
-    )
+    generator = resolve_rng(rng)
     if tracer is None:
         tracer = NULL_TRACER
     with tracer.span("workload"):

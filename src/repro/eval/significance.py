@@ -12,13 +12,14 @@ background noise does not.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple, Union
+from typing import Tuple
 
 import numpy as np
 
 from ..core.cluster import DeltaCluster
 from ..core.matrix import DataMatrix
 from ..core.residue import submatrix_residue
+from ..core.rng import RngLike, resolve_rng
 
 __all__ = [
     "SignificanceReport",
@@ -49,7 +50,7 @@ def empirical_residue_distribution(
     matrix: DataMatrix,
     shape: Tuple[int, int],
     n_samples: int,
-    rng: Union[None, int, np.random.Generator] = None,
+    rng: RngLike = None,
 ) -> np.ndarray:
     """Residues of ``n_samples`` random submatrices of the given shape."""
     n_rows, n_cols = shape
@@ -61,11 +62,7 @@ def empirical_residue_distribution(
         )
     if n_samples < 1:
         raise ValueError(f"n_samples must be >= 1, got {n_samples}")
-    generator = (
-        rng
-        if isinstance(rng, np.random.Generator)
-        else np.random.default_rng(rng)
-    )
+    generator = resolve_rng(rng)
     residues = np.empty(n_samples)
     for i in range(n_samples):
         rows = generator.choice(matrix.n_rows, size=n_rows, replace=False)
@@ -78,7 +75,7 @@ def residue_significance(
     matrix: DataMatrix,
     cluster: DeltaCluster,
     n_samples: int = 200,
-    rng: Union[None, int, np.random.Generator] = None,
+    rng: RngLike = None,
 ) -> SignificanceReport:
     """Permutation test: is the cluster more coherent than chance?
 

@@ -23,7 +23,10 @@ from __future__ import annotations
 
 import functools
 import time
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, TypeVar, cast
+
+#: Preserves the decorated function's exact signature through @profiled.
+_F = TypeVar("_F", bound=Callable[..., object])
 
 __all__ = [
     "profiled",
@@ -80,7 +83,7 @@ def reset_profile() -> None:
         stat.cpu_s = 0.0
 
 
-def profiled(func: Callable) -> Callable:
+def profiled(func: _F) -> _F:
     """Decorator: account wall/CPU time of ``func`` when profiling is on."""
     name = f"{func.__module__}.{func.__qualname__}"
     stat = _STATS.get(name)
@@ -88,7 +91,7 @@ def profiled(func: Callable) -> Callable:
         stat = _STATS[name] = _ProfileStat(name)
 
     @functools.wraps(func)
-    def wrapper(*args, **kwargs):
+    def wrapper(*args: object, **kwargs: object) -> object:
         if not _ENABLED:
             return func(*args, **kwargs)
         wall0 = time.perf_counter()
@@ -100,8 +103,8 @@ def profiled(func: Callable) -> Callable:
                 time.perf_counter() - wall0, time.process_time() - cpu0
             )
 
-    wrapper.__profile_stat__ = stat
-    return wrapper
+    wrapper.__profile_stat__ = stat  # type: ignore[attr-defined]
+    return cast("_F", wrapper)
 
 
 def profile_snapshot() -> Dict[str, Dict[str, float]]:

@@ -29,7 +29,8 @@ which is also the clock core code should use instead of importing
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence
+from types import TracebackType
+from typing import Dict, List, Optional, Sequence, Union
 
 from .events import TraceEvent
 from .metrics import MetricsRegistry
@@ -48,10 +49,15 @@ class _NullSpan:
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, *exc) -> bool:
+    def __exit__(
+        self,
+        exc_type: Optional[type],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
         return False
 
-    def set(self, **attrs) -> None:
+    def set(self, **attrs: object) -> None:
         pass
 
 
@@ -70,7 +76,7 @@ class Span:
         self.started = 0.0
         self.elapsed = 0.0
 
-    def set(self, **attrs) -> None:
+    def set(self, **attrs: object) -> None:
         """Attach attributes discovered while the span is open."""
         self.attrs.update(attrs)
 
@@ -78,7 +84,12 @@ class Span:
         self.started = self._tracer.clock()
         return self
 
-    def __exit__(self, *exc) -> bool:
+    def __exit__(
+        self,
+        exc_type: Optional[type],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
         self.elapsed = self._tracer.clock() - self.started
         self._tracer._finish_span(self)
         return False
@@ -123,7 +134,7 @@ class Tracer:
         self._span_agg: Dict[str, List[float]] = {}  # name -> [count, total_s]
 
     # -- context -------------------------------------------------------
-    def push_context(self, **attrs) -> None:
+    def push_context(self, **attrs: object) -> None:
         """Attach key/values merged into every subsequent record."""
         self._context.append(attrs)
         self._merged_context = {k: v for d in self._context for k, v in d.items()}
@@ -136,7 +147,7 @@ class Tracer:
             }
 
     # -- spans ---------------------------------------------------------
-    def span(self, name: str, **attrs):
+    def span(self, name: str, **attrs: object) -> Union[Span, "_NullSpan"]:
         """Timed region context manager; no-op singleton when disabled."""
         if not self.enabled:
             return _NULL_SPAN

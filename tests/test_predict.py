@@ -173,3 +173,21 @@ class TestPredictionError:
         matrix = perfect_matrix()
         with pytest.raises(ValueError, match="empty"):
             prediction_error(matrix, DeltaCluster((), ()))
+
+    def test_default_sampling_is_deterministic(self):
+        # Regression: with rng=None the >max_cells subsample used to be
+        # drawn from OS entropy, so two identical calls could disagree.
+        rng = np.random.default_rng(7)
+        matrix = DataMatrix(rng.uniform(0, 100, size=(25, 20)))
+        cluster = DeltaCluster(range(25), range(20))
+        first = prediction_error(matrix, cluster, max_cells=50)
+        second = prediction_error(matrix, cluster, max_cells=50)
+        assert first == second
+
+    def test_integer_seed_accepted(self):
+        # rng now goes through resolve_rng, so a plain int seed works.
+        matrix = perfect_matrix(20, 15, rng_seed=2)
+        cluster = DeltaCluster(range(20), range(15))
+        a = prediction_error(matrix, cluster, rng=3, max_cells=10)
+        b = prediction_error(matrix, cluster, rng=3, max_cells=10)
+        assert a == b

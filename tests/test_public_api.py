@@ -19,6 +19,7 @@ PACKAGES = [
 MODULES = [
     "repro.cli",
     "repro.core.matrix",
+    "repro.core.rng",
     "repro.core.residue",
     "repro.core.cluster",
     "repro.core.clustering",
@@ -46,7 +47,21 @@ MODULES = [
     "repro.eval.experiment",
     "repro.eval.reporting",
     "repro.eval.significance",
+    "repro.devtools",
+    "repro.devtools.lint",
+    "repro.devtools.rules",
 ]
+
+
+def test_previously_unexported_names_are_public():
+    """Regression: DCL005 found these public names missing from __all__."""
+    from repro.core import ordering
+    from repro.data import microarray
+    from repro.eval import experiment
+
+    assert "greedy_order" in ordering.__all__
+    assert "YeastDataset" in microarray.__all__
+    assert "generate_workload" in experiment.__all__
 
 
 @pytest.mark.parametrize("name", PACKAGES + MODULES)
