@@ -18,12 +18,13 @@ site at its micro-benchmarked cost with no allowance for what the
 un-instrumented code would have paid anyway.
 """
 
+import io
 import time
 
 from repro.core.floc import floc
 from repro.data.synthetic import generate_embedded
-from repro.obs import NULL_TRACER, IterationEvent, MetricsRegistry, \
-    RingBufferSink, Tracer
+from repro.obs import NULL_TRACER, IterationEvent, JsonlSink, \
+    MetricsRegistry, OtlpJsonSink, RingBufferSink, StatsdSink, Tracer
 
 
 def _standard_run(matrix, tracer=None):
@@ -105,4 +106,67 @@ def test_disabled_tracer_overhead_under_5_percent(report):
     assert fraction < 0.05, (
         f"disabled tracer costs {100 * fraction:.2f}% of a standard run "
         f"(budget: 5%)"
+    )
+
+
+class _NullTransport:
+    """Datagram transport that formats-and-drops (isolates CPU cost)."""
+
+    def sendto(self, data, address):
+        return len(data)
+
+    def close(self):
+        pass
+
+
+def test_exporter_sink_write_cost_within_budget(report):
+    """Attaching an exporter sink must also fit the 5% budget.
+
+    Same reconstruction style as the disabled-path test: count the
+    records a standard traced run emits, micro-time one ``write()`` per
+    exporter, and charge every record at that unit cost.  The statsd
+    cost excludes the kernel sendto (null transport) -- the budget
+    governs the formatting/encoding work FLOC pays inline; the UDP send
+    is fire-and-forget.
+    """
+    dataset = generate_embedded(
+        200, 40, 5, cluster_shape=(25, 12), noise=1.0, rng=0
+    )
+    matrix = dataset.matrix
+
+    run_time = _best_of(lambda: _standard_run(matrix))
+    traced = _standard_run(
+        matrix,
+        tracer=Tracer(sinks=[RingBufferSink(capacity=2_000_000)],
+                      metrics=MetricsRegistry()),
+    )
+    n_records = sum(traced.trace_summary["events"].values())
+
+    # A representative record: actions dominate every trace.
+    record = {
+        "type": "action", "kind": "row", "index": 17, "cluster": 3,
+        "is_removal": False, "gain": 1.25, "residue": 2.5, "volume": 120,
+        "restart": 0,
+    }
+    sinks = {
+        "jsonl": JsonlSink(io.StringIO()),
+        "statsd": StatsdSink(transport=_NullTransport()),
+        "otlp_json": OtlpJsonSink(io.StringIO()),
+    }
+    lines = [f"exporter-sink per-record write cost ({n_records} records/run)"]
+    worst_fraction = 0.0
+    for name, sink in sinks.items():
+        cost = _unit_cost(lambda s=sink: s.write(record), reps=20_000)
+        fraction = n_records * cost / run_time
+        worst_fraction = max(worst_fraction, fraction)
+        lines.append(
+            f"{name:<10}: {cost * 1e6:7.2f} us/record "
+            f"-> {100 * fraction:5.2f}% of the run"
+        )
+        sink.close()
+    report("overhead_exporters", "\n".join(lines))
+
+    assert worst_fraction < 0.05, (
+        f"worst exporter sink costs {100 * worst_fraction:.2f}% of a "
+        f"standard run (budget: 5%)"
     )

@@ -75,9 +75,16 @@ from .obs import (
     IterationEvent,
     JsonlSink,
     MetricsRegistry,
+    OtlpJsonSink,
     RingBufferSink,
     SeedEvent,
+    StatsdSink,
+    TraceAnalysis,
+    TraceDiff,
     Tracer,
+    analyze_records,
+    analyze_trace,
+    diff_traces,
     disable_profiling,
     enable_profiling,
     profile_report,
@@ -105,17 +112,24 @@ __all__ = [
     "MetricsRegistry",
     "MiningResult",
     "MovieLensDataset",
+    "OtlpJsonSink",
     "RingBufferSink",
     "SeedEvent",
     "SignificanceReport",
+    "StatsdSink",
     "SyntheticDataset",
+    "TraceAnalysis",
+    "TraceDiff",
     "Tracer",
     "YeastDataset",
     "__version__",
     "alternative_delta_clusters",
+    "analyze_records",
+    "analyze_trace",
     "clique",
     "clustering_report",
     "derived_matrix",
+    "diff_traces",
     "disable_profiling",
     "enable_profiling",
     "figure4_cluster",

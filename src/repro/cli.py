@@ -20,6 +20,7 @@ settings::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
@@ -30,6 +31,8 @@ from .core.matrix import DataMatrix
 from .core.mining import mine_delta_clusters
 from .core.predict import predict_entry
 from .obs import ConsoleProgressSink, JsonlSink, MetricsRegistry, Sink, Tracer
+from .obs.analysis import TraceAnalysis, analyze_trace, diff_traces
+from .obs.sinks import read_jsonl
 from .data.io import (
     load_clusters,
     load_matrix_csv,
@@ -41,10 +44,12 @@ from .data.microarray import generate_yeast_like
 from .data.movielens import generate_ratings
 from .data.synthetic import generate_embedded
 from .eval.metrics import recall_precision
-from .eval.reporting import format_table
+from .eval.reporting import format_histogram, format_table
 
 __all__ = [
     "build_parser",
+    "cmd_analyze_trace",
+    "cmd_diff_traces",
     "cmd_evaluate",
     "cmd_generate",
     "cmd_lint",
@@ -245,6 +250,162 @@ def cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _session_label(key: Dict[str, object]) -> str:
+    if not key:
+        return "-"
+    return " ".join(f"{name}={value}" for name, value in sorted(key.items()))
+
+
+def _print_analysis(analysis: TraceAnalysis, top_slots: int) -> None:
+    counts = ", ".join(
+        f"{kind}={count}"
+        for kind, count in sorted(analysis.event_counts.items())
+    )
+    print(f"{analysis.n_records} records ({counts})")
+
+    for session in analysis.sessions:
+        rows = [
+            [
+                sweep.index,
+                sweep.residue,
+                sweep.total_volume,
+                sweep.actions_observed,
+                sweep.admissions,
+                sweep.evictions,
+                sweep.row_actions,
+                sweep.col_actions,
+                sweep.gain_sum,
+                "yes" if sweep.improved else "no",
+                sweep.elapsed_s,
+            ]
+            for sweep in session.sweeps
+        ]
+        print()
+        print(format_table(
+            rows,
+            headers=["sweep", "residue", "volume", "actions", "adm", "evi",
+                     "row", "col", "gain_sum", "improved", "seconds"],
+            title=f"session [{_session_label(session.key)}]: "
+                  f"{len(session.sweeps)} sweep(s), "
+                  f"{session.n_actions} action(s)",
+            precision=4,
+        ))
+        if session.dangling_actions:
+            print(f"  ({session.dangling_actions} dangling action(s) after "
+                  "the last sweep)")
+
+    if analysis.clusters:
+        rows = [
+            [
+                c.cluster, c.seeds, c.reseeds, c.actions,
+                c.admissions, c.evictions, c.gain_sum,
+                "-" if c.last_residue is None else c.last_residue,
+                "-" if c.last_volume is None else c.last_volume,
+            ]
+            for c in analysis.clusters
+        ]
+        print()
+        print(format_table(
+            rows,
+            headers=["cluster", "seeds", "reseeds", "actions", "adm", "evi",
+                     "gain_sum", "last_residue", "last_volume"],
+            title="per-cluster lifetime",
+            precision=4,
+        ))
+
+    busiest = sorted(
+        analysis.slots, key=lambda s: (-s.actions, s.kind, s.cluster)
+    )[:top_slots]
+    for slot in busiest:
+        if slot.histogram is None:
+            continue
+        print()
+        print(format_histogram(
+            slot.histogram.edges,
+            slot.histogram.counts,
+            title=(
+                f"gain histogram [{slot.kind} x cluster {slot.cluster}]: "
+                f"{slot.actions} action(s), mean gain {slot.gain_mean:.4g}"
+            ),
+        ))
+
+    if analysis.spans:
+        rows = [
+            [name, int(agg["count"]), agg["total_s"],
+             agg["total_s"] / agg["count"] if agg["count"] else 0.0]
+            for name, agg in analysis.spans.items()
+        ]
+        print()
+        print(format_table(
+            rows,
+            headers=["span", "count", "total_s", "mean_s"],
+            title="wall-time by span",
+            precision=5,
+        ))
+
+    for warning in analysis.warnings:
+        print(f"\nwarning: {warning}", file=sys.stderr)
+
+
+def cmd_analyze_trace(args: argparse.Namespace) -> int:
+    """Aggregate a recorded JSONL trace into per-sweep/cluster/slot stats."""
+    if not Path(args.trace).is_file():
+        print(f"no such trace file: {args.trace}", file=sys.stderr)
+        return 2
+    try:
+        analysis = analyze_trace(args.trace, strict=args.strict)
+    except ValueError as exc:
+        print(f"malformed trace: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(analysis.to_dict(), sort_keys=True, indent=2))
+    else:
+        _print_analysis(analysis, top_slots=args.top_slots)
+    return 0
+
+
+def cmd_diff_traces(args: argparse.Namespace) -> int:
+    """Align two twinned traces' iterations and report divergence."""
+    for path in (args.trace_a, args.trace_b):
+        if not Path(path).is_file():
+            print(f"no such trace file: {path}", file=sys.stderr)
+            return 2
+    try:
+        diff = diff_traces(read_jsonl(args.trace_a), read_jsonl(args.trace_b))
+    except ValueError as exc:
+        print(f"malformed trace: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(diff.to_dict(tol=args.tol), sort_keys=True, indent=2))
+        return 0
+    rows = [
+        [
+            _session_label(d.key), d.index,
+            d.residue_a, d.residue_b, d.residue_delta,
+            d.volume_delta, d.actions_a, d.actions_b,
+        ]
+        for d in diff.deltas
+    ]
+    print(format_table(
+        rows,
+        headers=["session", "iter", "residue_a", "residue_b", "delta",
+                 "vol_delta", "act_a", "act_b"],
+        title=f"{len(diff.deltas)} aligned iteration(s), "
+              f"{diff.n_only_a} only in A, {diff.n_only_b} only in B",
+        precision=5,
+    ))
+    first = diff.first_divergence(args.tol)
+    print(f"\nmax |residue delta|  = {diff.max_abs_residue_delta:.6g}")
+    print(f"mean |residue delta| = {diff.mean_abs_residue_delta:.6g}")
+    print(f"final residue delta  = {diff.final_residue_delta:.6g}")
+    if first is None:
+        print(f"no divergence beyond tol={args.tol:g}")
+    else:
+        print(f"first divergence at iteration {first.index} "
+              f"(|delta| {abs(first.residue_delta):.6g} > tol {args.tol:g})")
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Run the DCL invariant linter (see :mod:`repro.devtools`)."""
     from .devtools.lint import main as lint_main
@@ -326,6 +487,33 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--row", type=int, required=True)
     predict.add_argument("--col", type=int, required=True)
     predict.set_defaults(func=cmd_predict)
+
+    analyze = sub.add_parser(
+        "analyze-trace",
+        help="aggregate a recorded JSONL trace (sweeps, clusters, gains)",
+    )
+    analyze.add_argument("trace", help="JSONL trace from 'mine --trace'")
+    analyze.add_argument("--json", action="store_true",
+                         help="emit the full analysis as deterministic JSON")
+    analyze.add_argument("--strict", action="store_true",
+                         help="fail on a truncated final line instead of "
+                              "skipping it")
+    analyze.add_argument("--top-slots", type=int, default=3, metavar="N",
+                         help="gain histograms for the N busiest "
+                              "(kind, cluster) slots (default 3)")
+    analyze.set_defaults(func=cmd_analyze_trace)
+
+    diff = sub.add_parser(
+        "diff-traces",
+        help="align two twinned traces and quantify residue divergence",
+    )
+    diff.add_argument("trace_a", help="baseline trace (e.g. exact gains)")
+    diff.add_argument("trace_b", help="comparison trace (e.g. fast gains)")
+    diff.add_argument("--json", action="store_true",
+                      help="emit the aligned diff as deterministic JSON")
+    diff.add_argument("--tol", type=float, default=0.0,
+                      help="residue |delta| below this is not divergence")
+    diff.set_defaults(func=cmd_diff_traces)
 
     lint = sub.add_parser(
         "lint", help="run the DCL invariant linter over a source tree"

@@ -34,6 +34,14 @@ DCL005
     ``__all__`` completeness/consistency: every module declares
     ``__all__``, every listed name exists, every public top-level
     function/class is listed, and there are no duplicates.
+DCL006
+    No writes to module-level mutable state from ``repro.core``
+    functions.  ``global`` rebinding, in-place mutation of module-level
+    containers (``CACHE[k] = v``, ``REGISTRY.append(...)``) and
+    ``os.environ`` writes make results depend on call order and survive
+    across runs in long-lived processes -- the same class of hidden
+    state DCL001 bans for RNGs.  Core stays pure: state is threaded
+    through parameters and return values.
 """
 
 from __future__ import annotations
@@ -53,6 +61,7 @@ __all__ = [
     "NanAggregationRule",
     "RngParameterRule",
     "DunderAllRule",
+    "MutableGlobalWriteRule",
 ]
 
 
@@ -541,6 +550,193 @@ class DunderAllRule(Rule):
         return out
 
 
+# ----------------------------------------------------------------------
+# DCL006 -- no writes to module-level mutable state in core/
+# ----------------------------------------------------------------------
+#: Expression node types that construct a mutable container literal.
+_MUTABLE_LITERALS = (
+    ast.List, ast.Dict, ast.Set, ast.ListComp, ast.SetComp, ast.DictComp,
+)
+#: Call targets (last dotted component) that construct mutable containers.
+_MUTABLE_FACTORIES = {
+    "list", "dict", "set", "bytearray", "deque", "defaultdict",
+    "OrderedDict", "Counter", "ChainMap",
+}
+#: Methods that mutate a container in place.
+_MUTATOR_METHODS = {
+    "append", "extend", "insert", "remove", "pop", "clear", "add",
+    "discard", "update", "setdefault", "popitem", "appendleft",
+    "extendleft", "sort", "reverse",
+}
+#: ``os.environ`` methods that write the process environment.
+_ENVIRON_WRITERS = {"update", "pop", "setdefault", "clear", "popitem"}
+
+
+class MutableGlobalWriteRule(Rule):
+    """DCL006: core functions must not write module-level mutable state."""
+
+    code = "DCL006"
+    summary = (
+        "no writes to module-level mutable state from src/repro/core/ "
+        "functions: global rebinding, in-place container mutation and "
+        "os.environ writes make results call-order dependent"
+    )
+
+    def applies(self, path: str) -> bool:
+        return _in_core(path)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        mutables = self._mutable_globals(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            yield from self._check_environ(ctx, node)
+        for func in self._functions(ctx.tree):
+            yield from self._check_function(ctx, func, mutables)
+
+    # -- discovery ------------------------------------------------------
+    @classmethod
+    def _mutable_globals(cls, tree: ast.Module) -> Set[str]:
+        """Module-level names bound to mutable container values."""
+        out: Set[str] = set()
+        for node in tree.body:
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            else:
+                continue
+            if not cls._is_mutable_value(value):
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    out.add(target.id)
+        return out
+
+    @staticmethod
+    def _is_mutable_value(value: ast.expr) -> bool:
+        if isinstance(value, _MUTABLE_LITERALS):
+            return True
+        if isinstance(value, ast.Call):
+            func = value.func
+            name = (
+                func.id if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute)
+                else None
+            )
+            return name in _MUTABLE_FACTORIES
+        return False
+
+    @staticmethod
+    def _functions(tree: ast.Module) -> Iterator[ast.AST]:
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    @staticmethod
+    def _shallow(func: ast.AST) -> Iterator[ast.AST]:
+        """Walk a function body without descending into nested functions
+        (those are analyzed as functions in their own right)."""
+        stack = list(ast.iter_child_nodes(func))
+        while stack:
+            node = stack.pop()
+            yield node
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                stack.extend(ast.iter_child_nodes(node))
+
+    @classmethod
+    def _local_bindings(cls, func: ast.AST) -> Set[str]:
+        """Names the function binds locally (params + assignments)."""
+        names: Set[str] = set()
+        args = func.args  # type: ignore[attr-defined]
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            names.add(arg.arg)
+        if args.vararg is not None:
+            names.add(args.vararg.arg)
+        if args.kwarg is not None:
+            names.add(args.kwarg.arg)
+        for node in cls._shallow(func):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                names.add(node.id)
+        return names
+
+    # -- checks ---------------------------------------------------------
+    def _check_function(
+        self, ctx: FileContext, func: ast.AST, mutables: Set[str]
+    ) -> Iterator[Violation]:
+        declared_global: Set[str] = set()
+        for node in self._shallow(func):
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+        shadowed = self._local_bindings(func) - declared_global
+        reachable = mutables - shadowed
+        name = getattr(func, "name", "<lambda>")
+        for node in self._shallow(func):
+            if isinstance(node, ast.Global):
+                yield self._violation(
+                    ctx, node,
+                    f"'{name}' declares global {', '.join(node.names)}; "
+                    "rebinding module state from a function makes results "
+                    "call-order dependent -- thread state through "
+                    "parameters/returns",
+                )
+            elif isinstance(node, ast.Subscript) and isinstance(
+                node.ctx, (ast.Store, ast.Del)
+            ):
+                target = node.value
+                if isinstance(target, ast.Name) and target.id in reachable:
+                    yield self._violation(
+                        ctx, node,
+                        f"'{name}' mutates module-level container "
+                        f"'{target.id}' in place (item write); module "
+                        "state must stay read-only at runtime",
+                    )
+            elif isinstance(node, ast.Call):
+                func_expr = node.func
+                if (
+                    isinstance(func_expr, ast.Attribute)
+                    and isinstance(func_expr.value, ast.Name)
+                    and func_expr.value.id in reachable
+                    and func_expr.attr in _MUTATOR_METHODS
+                ):
+                    yield self._violation(
+                        ctx, node,
+                        f"'{name}' mutates module-level container "
+                        f"'{func_expr.value.id}' in place "
+                        f"(.{func_expr.attr}()); module state must stay "
+                        "read-only at runtime",
+                    )
+
+    def _check_environ(
+        self, ctx: FileContext, node: ast.AST
+    ) -> Iterator[Violation]:
+        if isinstance(node, ast.Subscript) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            if ctx.dotted_name(node.value) == "os.environ":
+                yield self._violation(
+                    ctx, node,
+                    "writes os.environ inside repro.core; environment "
+                    "mutation leaks across runs in a long-lived process",
+                )
+        elif isinstance(node, ast.Call):
+            dotted = ctx.dotted_name(node.func)
+            if dotted in ("os.putenv", "os.unsetenv"):
+                yield self._violation(
+                    ctx, node,
+                    f"{dotted}() mutates the process environment inside "
+                    "repro.core",
+                )
+            elif dotted is not None and dotted.startswith("os.environ."):
+                method = dotted.rsplit(".", 1)[-1]
+                if method in _ENVIRON_WRITERS:
+                    yield self._violation(
+                        ctx, node,
+                        f"os.environ.{method}() mutates the process "
+                        "environment inside repro.core",
+                    )
+
+
 #: Registry, in code order.  ``lint.py`` instantiates from here; tests
 #: can construct individual rules directly.
 RULES: Tuple[Type[Rule], ...] = (
@@ -549,6 +745,7 @@ RULES: Tuple[Type[Rule], ...] = (
     NanAggregationRule,
     RngParameterRule,
     DunderAllRule,
+    MutableGlobalWriteRule,
 )
 
 

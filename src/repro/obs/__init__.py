@@ -9,15 +9,38 @@ requested:
   (:class:`IterationEvent`, :class:`ActionEvent`, :class:`SeedEvent`);
 * :mod:`repro.obs.metrics` -- counters / gauges / histograms with a
   plain-dict snapshot;
-* :mod:`repro.obs.sinks` -- ring buffer, JSONL writer and console
-  progress reporter;
+* :mod:`repro.obs.sinks` -- ring buffer, JSONL writer, console
+  progress reporter, and the statsd / OTLP-JSON exporter sinks;
+* :mod:`repro.obs.analysis` -- trace analytics: typed per-sweep /
+  per-cluster / per-slot aggregates over recorded traces, plus
+  twinned-run diffing (``repro analyze-trace`` / ``repro diff-traces``);
 * :mod:`repro.obs.profiling` -- the ``@profiled`` decorator on the core
   residue/action primitives plus a wall/CPU report.
 
 See ``docs/OBSERVABILITY.md`` for the event schema and recipes.
 """
 
-from .events import ActionEvent, IterationEvent, SeedEvent, TraceEvent
+from .analysis import (
+    ClusterStats,
+    GainHistogram,
+    IterationDelta,
+    SessionAnalysis,
+    SlotStats,
+    SweepStats,
+    TraceAnalysis,
+    TraceDiff,
+    analyze_records,
+    analyze_trace,
+    diff_traces,
+)
+from .events import (
+    EVENT_TYPES,
+    ActionEvent,
+    IterationEvent,
+    SeedEvent,
+    TraceEvent,
+    event_fields,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .profiling import (
     disable_profiling,
@@ -28,27 +51,52 @@ from .profiling import (
     profiling_enabled,
     reset_profile,
 )
-from .sinks import ConsoleProgressSink, JsonlSink, RingBufferSink, Sink, read_jsonl
+from .sinks import (
+    ConsoleProgressSink,
+    DatagramTransport,
+    JsonlSink,
+    OtlpJsonSink,
+    RingBufferSink,
+    Sink,
+    StatsdSink,
+    read_jsonl,
+)
 from .tracer import NULL_TRACER, Span, Tracer
 
 __all__ = [
     "ActionEvent",
+    "ClusterStats",
     "ConsoleProgressSink",
     "Counter",
+    "DatagramTransport",
+    "EVENT_TYPES",
     "Gauge",
+    "GainHistogram",
     "Histogram",
+    "IterationDelta",
     "IterationEvent",
     "JsonlSink",
     "MetricsRegistry",
     "NULL_TRACER",
+    "OtlpJsonSink",
     "RingBufferSink",
     "SeedEvent",
+    "SessionAnalysis",
     "Sink",
+    "SlotStats",
     "Span",
-    "Tracer",
+    "StatsdSink",
+    "SweepStats",
+    "TraceAnalysis",
+    "TraceDiff",
     "TraceEvent",
+    "Tracer",
+    "analyze_records",
+    "analyze_trace",
+    "diff_traces",
     "disable_profiling",
     "enable_profiling",
+    "event_fields",
     "profile_report",
     "profile_snapshot",
     "profiled",

@@ -14,10 +14,17 @@ opaque end-of-run aggregate.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
-from typing import Dict, Optional
+from dataclasses import asdict, dataclass, fields
+from typing import Dict, List, Optional, Type
 
-__all__ = ["TraceEvent", "IterationEvent", "ActionEvent", "SeedEvent"]
+__all__ = [
+    "TraceEvent",
+    "IterationEvent",
+    "ActionEvent",
+    "SeedEvent",
+    "EVENT_TYPES",
+    "event_fields",
+]
 
 
 @dataclass(frozen=True)
@@ -98,3 +105,23 @@ class SeedEvent(TraceEvent):
     n_cols: int = 0
     residue: Optional[float] = None
     volume: Optional[int] = None
+
+
+#: Registry: the ``type`` discriminator of every domain event mapped to
+#: its dataclass.  Trace *consumers* (:mod:`repro.obs.analysis`) use it
+#: to tell domain events apart from tracer-internal record types
+#: (``"span"``) and from unknown types emitted by newer producers.
+EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
+    "iteration": IterationEvent,
+    "action": ActionEvent,
+    "seed": SeedEvent,
+}
+
+
+def event_fields(kind: str) -> List[str]:
+    """Field names of the registered event type ``kind`` (sans ``type``).
+
+    Raises ``KeyError`` for unregistered kinds -- the schema source of
+    truth for consumers that validate records.
+    """
+    return [f.name for f in fields(EVENT_TYPES[kind]) if f.name != "type"]

@@ -1,14 +1,18 @@
 """Trace sinks: where emitted records go.
 
 A sink is anything with ``write(record: dict)`` (and optionally
-``close()``).  Three implementations cover the common needs:
+``close()``).  Five implementations cover the common needs:
 
 * :class:`RingBufferSink` -- bounded in-memory buffer for tests and
   programmatic inspection;
 * :class:`JsonlSink` -- one JSON object per line, the machine-readable
   trace format (:func:`read_jsonl` loads it back);
 * :class:`ConsoleProgressSink` -- human-readable one-line-per-iteration
-  progress reporting for long interactive runs.
+  progress reporting for long interactive runs;
+* :class:`StatsdSink` -- statsd line-protocol UDP export (stdlib socket
+  only, injectable transport) for running FLOC as a service;
+* :class:`OtlpJsonSink` -- OpenTelemetry-compatible OTLP/JSON file
+  export for ingestion by OTel collectors.
 
 Records are flat dicts produced by the tracer (typed events merged with
 the tracer context); sinks must not mutate them.
@@ -17,16 +21,20 @@ the tracer context); sinks must not mutate them.
 from __future__ import annotations
 
 import json
+import socket
 import sys
 from collections import deque
 from pathlib import Path
-from typing import Dict, IO, List, Optional, Union
+from typing import Dict, IO, List, Optional, Protocol, Tuple, Union
 
 __all__ = [
     "Sink",
     "RingBufferSink",
     "JsonlSink",
     "ConsoleProgressSink",
+    "StatsdSink",
+    "OtlpJsonSink",
+    "DatagramTransport",
     "read_jsonl",
 ]
 
@@ -84,9 +92,20 @@ class JsonlSink(Sink):
 
     Accepts a path (opened for writing, truncating) or an already-open
     text stream (left open on :meth:`close` unless owned).
+
+    ``flush_every=N`` flushes the stream every ``N`` records so long
+    mining sessions produce tailable traces (``tail -f trace.jsonl``);
+    the default (``None``) keeps the original buffer-until-close
+    behaviour.
     """
 
-    def __init__(self, target: Union[str, Path, IO[str]]) -> None:
+    def __init__(
+        self,
+        target: Union[str, Path, IO[str]],
+        flush_every: Optional[int] = None,
+    ) -> None:
+        if flush_every is not None and flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
         if hasattr(target, "write"):
             self._stream: Optional[IO[str]] = target  # type: ignore[assignment]
             self._owns = False
@@ -95,6 +114,7 @@ class JsonlSink(Sink):
             self.path = Path(target)
             self._stream = self.path.open("w", encoding="utf-8")
             self._owns = True
+        self.flush_every = flush_every
         self.n_written = 0
 
     def write(self, record: Dict[str, object]) -> None:
@@ -102,6 +122,8 @@ class JsonlSink(Sink):
             raise ValueError("JsonlSink is closed")
         self._stream.write(json.dumps(record, default=_jsonable) + "\n")
         self.n_written += 1
+        if self.flush_every is not None and self.n_written % self.flush_every == 0:
+            self._stream.flush()
 
     def close(self) -> None:
         if self._stream is None:
@@ -112,20 +134,34 @@ class JsonlSink(Sink):
             self._stream = None
 
 
-def read_jsonl(path: Union[str, Path]) -> List[Dict[str, object]]:
-    """Load a JSONL trace back into a list of record dicts."""
+def read_jsonl(
+    path: Union[str, Path], strict: bool = False
+) -> List[Dict[str, object]]:
+    """Load a JSONL trace back into a list of record dicts.
+
+    A run killed mid-write leaves a truncated final line; by default it
+    is skipped so interrupted traces stay analyzable (crash tolerance).
+    Corruption anywhere *else* still raises -- it signals real damage,
+    not interruption.  ``strict=True`` restores the raise-on-anything
+    behaviour for pipelines that must notice partial traces.
+    """
     records: List[Dict[str, object]] = []
-    with Path(path).open("r", encoding="utf-8") as stream:
-        for line_number, line in enumerate(stream, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                records.append(json.loads(line))
-            except json.JSONDecodeError as exc:
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    last_content = max(
+        (i for i, line in enumerate(lines) if line.strip()), default=-1
+    )
+    for index, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            records.append(json.loads(stripped))
+        except json.JSONDecodeError as exc:
+            if strict or index != last_content:
                 raise ValueError(
-                    f"{path}:{line_number}: invalid JSONL record: {exc}"
+                    f"{path}:{index + 1}: invalid JSONL record: {exc}"
                 ) from exc
+            # Truncated final line from an interrupted run: skip it.
     return records
 
 
@@ -177,3 +213,201 @@ class ConsoleProgressSink(Sink):
         self._print(
             f"trace: {self._n_seeds} seeds, {self._n_actions} actions total"
         )
+
+
+class DatagramTransport(Protocol):
+    """What :class:`StatsdSink` needs from its UDP socket (injectable)."""
+
+    def sendto(self, data: bytes, address: Tuple[str, int]) -> int:
+        ...  # pragma: no cover - protocol definition
+
+    def close(self) -> None:
+        ...  # pragma: no cover - protocol definition
+
+
+class StatsdSink(Sink):
+    """Export trace records as statsd line-protocol UDP metrics.
+
+    No dependency beyond the stdlib: metrics are formatted as
+    ``<prefix>.<name>:<value>|<type>`` lines and sent as individual UDP
+    datagrams (fire-and-forget; UDP to a dead endpoint neither blocks
+    nor raises, matching statsd client convention).  Pass ``transport``
+    (anything with ``sendto(data, address)``) to capture the lines in
+    tests or to reuse an existing socket; an injected transport is never
+    closed by the sink.
+
+    The mapping:
+
+    * ``action``    -> ``actions:1|c``, ``admissions/evictions:1|c``,
+      ``action_gain:<gain>|h``
+    * ``iteration`` -> ``iterations:1|c``, ``residue:<r>|g``,
+      ``total_volume:<v>|g``, ``sweep_ms:<t>|ms``,
+      ``sweep_actions:<n>|h``
+    * ``seed``      -> ``seeds.<origin>:1|c``
+    * ``span``      -> ``span.<name>:<t>|ms``
+    * anything else -> ``events.<type>:1|c``
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8125,
+        prefix: str = "floc",
+        transport: Optional[DatagramTransport] = None,
+    ) -> None:
+        self.address = (host, port)
+        self.prefix = prefix
+        if transport is None:
+            self._transport: Optional[DatagramTransport] = socket.socket(
+                socket.AF_INET, socket.SOCK_DGRAM
+            )
+            self._owns = True
+        else:
+            self._transport = transport
+            self._owns = False
+        self.n_sent = 0
+
+    def format_record(self, record: Dict[str, object]) -> List[str]:
+        """The statsd lines one record maps to (no I/O; unit-testable)."""
+        p = self.prefix
+        kind = record.get("type", "event")
+        lines: List[str] = []
+        if kind == "action":
+            lines.append(f"{p}.actions:1|c")
+            direction = (
+                "evictions" if record.get("is_removal") else "admissions"
+            )
+            lines.append(f"{p}.{direction}:1|c")
+            gain = record.get("gain")
+            if isinstance(gain, (int, float)) and not isinstance(gain, bool):
+                lines.append(f"{p}.action_gain:{float(gain):g}|h")
+        elif kind == "iteration":
+            lines.append(f"{p}.iterations:1|c")
+            for name, key, suffix in (
+                ("residue", "residue", "g"),
+                ("total_volume", "total_volume", "g"),
+                ("sweep_actions", "n_actions", "h"),
+            ):
+                value = record.get(key)
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    lines.append(f"{p}.{name}:{float(value):g}|{suffix}")
+            elapsed = record.get("elapsed_s")
+            if isinstance(elapsed, (int, float)) and not isinstance(elapsed, bool):
+                lines.append(f"{p}.sweep_ms:{float(elapsed) * 1e3:g}|ms")
+        elif kind == "seed":
+            origin = record.get("origin", "phase1")
+            lines.append(f"{p}.seeds.{origin}:1|c")
+        elif kind == "span":
+            name = record.get("name", "unnamed")
+            elapsed_s = record.get("elapsed_s")
+            if isinstance(elapsed_s, (int, float)) and not isinstance(
+                elapsed_s, bool
+            ):
+                lines.append(f"{p}.span.{name}:{float(elapsed_s) * 1e3:g}|ms")
+        else:
+            lines.append(f"{p}.events.{kind}:1|c")
+        return lines
+
+    def write(self, record: Dict[str, object]) -> None:
+        if self._transport is None:
+            raise ValueError("StatsdSink is closed")
+        for line in self.format_record(record):
+            self._transport.sendto(line.encode("utf-8"), self.address)
+            self.n_sent += 1
+
+    def close(self) -> None:
+        if self._transport is None:
+            return
+        if self._owns:
+            self._transport.close()
+        self._transport = None
+
+
+class OtlpJsonSink(Sink):
+    """OpenTelemetry-compatible OTLP/JSON log export to a file.
+
+    Buffers every record as an OTLP ``logRecord`` (body = event type,
+    attributes = the record's remaining fields, mapped per the OTLP/JSON
+    ``AnyValue`` encoding: ``intValue`` as a string, ``doubleValue``,
+    ``boolValue``, ``stringValue``) and writes one ``LogsData`` JSON
+    document on :meth:`close`.  The file can be replayed into any OTel
+    collector with a JSON file receiver; there is no OTel SDK
+    dependency.  Like :class:`JsonlSink`, accepts a path or an open
+    text stream (the latter is left open).
+    """
+
+    def __init__(
+        self,
+        target: Union[str, Path, IO[str]],
+        service_name: str = "repro-floc",
+        scope: str = "repro.obs",
+    ) -> None:
+        if hasattr(target, "write"):
+            self._stream: Optional[IO[str]] = target  # type: ignore[assignment]
+            self._owns = False
+            self.path: Optional[Path] = None
+        else:
+            self.path = Path(target)
+            self._stream = self.path.open("w", encoding="utf-8")
+            self._owns = True
+        self.service_name = service_name
+        self.scope = scope
+        self._records: List[Dict[str, object]] = []
+        self._closed = False
+
+    @staticmethod
+    def _any_value(value: object) -> Dict[str, object]:
+        """One value in OTLP/JSON ``AnyValue`` encoding."""
+        if isinstance(value, bool):
+            return {"boolValue": value}
+        if isinstance(value, int):
+            return {"intValue": str(value)}  # int64 is a string in OTLP/JSON
+        if isinstance(value, float):
+            return {"doubleValue": value}
+        if isinstance(value, str):
+            return {"stringValue": value}
+        return {"stringValue": str(_jsonable(value))}
+
+    def write(self, record: Dict[str, object]) -> None:
+        if self._closed:
+            raise ValueError("OtlpJsonSink is closed")
+        self._records.append({
+            "severityText": "INFO",
+            "body": {"stringValue": str(record.get("type", "event"))},
+            "attributes": [
+                {"key": key, "value": self._any_value(value)}
+                for key, value in record.items()
+                if key != "type"
+            ],
+        })
+
+    def to_payload(self) -> Dict[str, object]:
+        """The full OTLP/JSON ``LogsData`` document (what close writes)."""
+        return {
+            "resourceLogs": [{
+                "resource": {
+                    "attributes": [{
+                        "key": "service.name",
+                        "value": {"stringValue": self.service_name},
+                    }],
+                },
+                "scopeLogs": [{
+                    "scope": {"name": self.scope},
+                    "logRecords": list(self._records),
+                }],
+            }],
+        }
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        stream = self._stream
+        if stream is None:  # pragma: no cover - defensive
+            return
+        json.dump(self.to_payload(), stream, default=_jsonable)
+        stream.write("\n")
+        stream.flush()
+        if self._owns:
+            stream.close()
+        self._stream = None

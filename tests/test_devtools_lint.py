@@ -229,6 +229,115 @@ class TestDunderAll:
 
 
 # ----------------------------------------------------------------------
+# DCL006 -- no writes to module-level mutable state in core/
+# ----------------------------------------------------------------------
+class TestMutableGlobalWrite:
+    def test_global_rebinding_fires(self):
+        src = (
+            "__all__ = []\n_BEST = None\n"
+            "def _remember(x):\n    global _BEST\n    _BEST = x\n"
+        )
+        assert codes(lint_source(src, CORE_PATH)) == ["DCL006"]
+
+    def test_item_write_fires(self):
+        src = (
+            "__all__ = []\nCACHE = {}\n"
+            "def _put(k, v):\n    CACHE[k] = v\n"
+        )
+        assert codes(lint_source(src, CORE_PATH)) == ["DCL006"]
+
+    def test_item_delete_fires(self):
+        src = (
+            "__all__ = []\nCACHE = dict()\n"
+            "def _drop(k):\n    del CACHE[k]\n"
+        )
+        assert codes(lint_source(src, CORE_PATH)) == ["DCL006"]
+
+    def test_mutator_method_fires(self):
+        src = (
+            "__all__ = []\nREGISTRY = []\n"
+            "def _register(x):\n    REGISTRY.append(x)\n"
+        )
+        assert codes(lint_source(src, CORE_PATH)) == ["DCL006"]
+
+    def test_factory_call_global_tracked(self):
+        src = (
+            "from collections import defaultdict\n__all__ = []\n"
+            "HITS = defaultdict(int)\n"
+            "def _hit(k):\n    HITS.update({k: 1})\n"
+        )
+        assert codes(lint_source(src, CORE_PATH)) == ["DCL006"]
+
+    def test_environ_write_fires(self):
+        src = (
+            "import os\n__all__ = []\n"
+            "def _taint():\n    os.environ['SEED'] = '1'\n"
+        )
+        assert codes(lint_source(src, CORE_PATH)) == ["DCL006"]
+
+    def test_environ_update_fires(self):
+        src = (
+            "import os\n__all__ = []\n"
+            "def _taint():\n    os.environ.update(SEED='1')\n"
+        )
+        assert codes(lint_source(src, CORE_PATH)) == ["DCL006"]
+
+    def test_putenv_fires(self):
+        src = "import os\n__all__ = []\ndef _taint():\n    os.putenv('A', 'b')\n"
+        assert codes(lint_source(src, CORE_PATH)) == ["DCL006"]
+
+    def test_local_shadow_ok(self):
+        src = (
+            "__all__ = []\nCACHE = {}\n"
+            "def _work():\n    CACHE = {}\n    CACHE['k'] = 1\n    return CACHE\n"
+        )
+        assert lint_source(src, CORE_PATH) == []
+
+    def test_parameter_shadow_ok(self):
+        src = (
+            "__all__ = []\nREGISTRY = []\n"
+            "def _register(REGISTRY, x):\n    REGISTRY.append(x)\n"
+        )
+        assert lint_source(src, CORE_PATH) == []
+
+    def test_reading_global_ok(self):
+        src = (
+            "__all__ = []\nLIMITS = {'rows': 3}\n"
+            "def _floor():\n    return LIMITS['rows']\n"
+        )
+        assert lint_source(src, CORE_PATH) == []
+
+    def test_immutable_global_rebind_not_mutation(self):
+        src = (
+            "__all__ = []\nSCALE = 2.0\n"
+            "def _use():\n    x = SCALE\n    return x\n"
+        )
+        assert lint_source(src, CORE_PATH) == []
+
+    def test_module_level_init_ok(self):
+        src = (
+            "__all__ = []\nTABLE = {}\nTABLE['a'] = 1\n"
+        )
+        assert lint_source(src, CORE_PATH) == []
+
+    def test_outside_core_exempt(self):
+        src = (
+            "__all__ = []\nCACHE = {}\n"
+            "def _put(k, v):\n    CACHE[k] = v\n"
+        )
+        assert lint_source(src, OTHER_PATH) == []
+
+    def test_nested_function_analyzed(self):
+        src = (
+            "__all__ = []\nSEEN = set()\n"
+            "def _outer():\n"
+            "    def _inner(x):\n        SEEN.add(x)\n"
+            "    return inner\n"
+        )
+        assert codes(lint_source(src, CORE_PATH)) == ["DCL006"]
+
+
+# ----------------------------------------------------------------------
 # Suppression comments
 # ----------------------------------------------------------------------
 class TestSuppression:
@@ -280,7 +389,7 @@ class TestEngine:
 
     def test_registry_is_complete(self):
         assert [cls.code for cls in RULES] == [
-            "DCL001", "DCL002", "DCL003", "DCL004", "DCL005",
+            "DCL001", "DCL002", "DCL003", "DCL004", "DCL005", "DCL006",
         ]
 
     def test_collect_files_skips_pycache(self, tmp_path):
@@ -315,7 +424,8 @@ class TestEngine:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("DCL001", "DCL002", "DCL003", "DCL004", "DCL005"):
+        for code in ("DCL001", "DCL002", "DCL003", "DCL004",
+                     "DCL005", "DCL006"):
             assert code in out
 
 

@@ -1,0 +1,324 @@
+"""Trace analytics: aggregates must agree exactly with the source events.
+
+The acceptance contract: per-sweep action counts and gain sums derived by
+:func:`repro.obs.analysis.analyze_records` match the ``IterationEvent``
+fields and raw ``ActionEvent`` stream exactly, the residue trajectory is
+the run's ``history`` verbatim, and the whole analysis is deterministic
+(same trace -> byte-identical serialized output).  ``diff_traces`` is
+exercised on real twinned exact-vs-fast runs and on synthetic streams
+with known divergence.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.floc import floc
+from repro.core.matrix import DataMatrix
+from repro.obs import (
+    JsonlSink,
+    RingBufferSink,
+    Tracer,
+    analyze_records,
+    analyze_trace,
+    diff_traces,
+)
+from repro.obs.analysis import _histogram
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    rng = np.random.default_rng(0)
+    values = rng.uniform(0, 100, size=(40, 12))
+    values[:12, :5] = (
+        50.0
+        + rng.uniform(-15, 15, 12)[:, None]
+        + rng.uniform(-15, 15, 5)[None, :]
+    )
+    return DataMatrix(values)
+
+
+def traced_run(matrix, *, emit_spans=False, **kwargs):
+    sink = RingBufferSink(capacity=100000)
+    tracer = Tracer(sinks=[sink], emit_spans=emit_spans)
+    kwargs.setdefault("k", 3)
+    kwargs.setdefault("rng", 7)
+    kwargs.setdefault("reseed_rounds", 2)
+    result = floc(matrix, tracer=tracer, **kwargs)
+    tracer.close()
+    return result, sink.records
+
+
+@pytest.fixture(scope="module")
+def run(matrix):
+    return traced_run(matrix)
+
+
+class TestAgainstRealRuns:
+    def test_sweep_counts_match_iteration_events(self, run):
+        _, records = run
+        analysis = analyze_records(records)
+        assert analysis.warnings == []
+        sweeps = [s for sess in analysis.sessions for s in sess.sweeps]
+        assert sweeps, "run produced no sweeps"
+        for sweep in sweeps:
+            assert sweep.actions_observed == sweep.n_actions
+            assert sweep.admissions + sweep.evictions == sweep.n_actions
+            assert sweep.row_actions + sweep.col_actions == sweep.n_actions
+
+    def test_residue_trajectory_matches_history(self, run):
+        result, records = run
+        analysis = analyze_records(records)
+        [session] = analysis.sessions
+        assert session.residue_trajectory == result.history
+
+    def test_gain_sums_match_action_stream(self, run):
+        _, records = run
+        analysis = analyze_records(records)
+        raw_gain = sum(
+            r["gain"] for r in records if r.get("type") == "action"
+        )
+        sweep_gain = sum(
+            s.gain_sum for sess in analysis.sessions for s in sess.sweeps
+        )
+        slot_gain = sum(slot.gain_sum for slot in analysis.slots)
+        cluster_gain = sum(c.gain_sum for c in analysis.clusters)
+        assert sweep_gain == pytest.approx(raw_gain, abs=1e-12)
+        assert slot_gain == pytest.approx(raw_gain, abs=1e-12)
+        assert cluster_gain == pytest.approx(raw_gain, abs=1e-12)
+
+    def test_event_counts_match_raw_stream(self, run):
+        _, records = run
+        analysis = analyze_records(records)
+        assert analysis.n_records == len(records)
+        for kind in ("seed", "action", "iteration"):
+            expected = sum(1 for r in records if r.get("type") == kind)
+            assert analysis.event_counts.get(kind, 0) == expected
+        assert analysis.n_actions == analysis.event_counts.get("action", 0)
+
+    def test_slot_histograms_account_for_every_action(self, run):
+        _, records = run
+        analysis = analyze_records(records)
+        for slot in analysis.slots:
+            assert slot.histogram is not None
+            assert sum(slot.histogram.counts) == slot.actions
+            assert slot.gain_min <= slot.gain_mean <= slot.gain_max
+        # Shared edges: every slot histogram spans the same range.
+        edges = {tuple(s.histogram.edges[:1] + s.histogram.edges[-1:])
+                 for s in analysis.slots}
+        assert len(edges) == 1
+
+    def test_cluster_seed_counts(self, run):
+        _, records = run
+        analysis = analyze_records(records)
+        seeds = sum(c.seeds for c in analysis.clusters)
+        reseeds = sum(c.reseeds for c in analysis.clusters)
+        raw = [r for r in records if r.get("type") == "seed"]
+        assert seeds == sum(1 for r in raw if r.get("origin") == "phase1")
+        assert reseeds == sum(1 for r in raw if r.get("origin") == "reseed")
+
+    def test_spans_aggregate_when_emitted(self, matrix):
+        _, records = traced_run(matrix, emit_spans=True)
+        analysis = analyze_records(records)
+        assert "phase1" in analysis.spans
+        assert "gain_eval" in analysis.spans
+        for agg in analysis.spans.values():
+            assert agg["count"] >= 1
+            assert agg["total_s"] >= 0.0
+        # Per-sweep wall-time breakdown picked up the span stream.
+        sweeps = [s for sess in analysis.sessions for s in sess.sweeps]
+        assert any(s.span_s for s in sweeps)
+
+    def test_no_spans_without_emit_spans(self, run):
+        _, records = run
+        analysis = analyze_records(records)
+        assert analysis.spans == {}
+
+
+class TestDeterminism:
+    def test_to_dict_is_reproducible(self, run):
+        _, records = run
+        first = json.dumps(
+            analyze_records(records).to_dict(), sort_keys=True
+        )
+        second = json.dumps(
+            analyze_records(list(records)).to_dict(), sort_keys=True
+        )
+        assert first == second
+
+    def test_analyze_trace_round_trip(self, run, tmp_path):
+        _, records = run
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        for record in records:
+            sink.write(record)
+        sink.close()
+        from_file = analyze_trace(path)
+        in_memory = analyze_records(records)
+        assert from_file.to_dict() == in_memory.to_dict()
+
+    def test_truncated_trace_still_analyzes(self, run, tmp_path):
+        _, records = run
+        path = tmp_path / "cut.jsonl"
+        sink = JsonlSink(path)
+        for record in records:
+            sink.write(record)
+        sink.close()
+        text = path.read_text()
+        path.write_text(text[: len(text) - 20])  # chop mid-final-line
+        analysis = analyze_trace(path)
+        assert analysis.n_records == len(records) - 1
+        with pytest.raises(ValueError):
+            analyze_trace(path, strict=True)
+
+
+class TestHandBuiltStreams:
+    @staticmethod
+    def iteration(index, residue, n_actions=0, **extra):
+        return {
+            "type": "iteration", "index": index, "residue": residue,
+            "score": residue, "total_volume": 10, "n_actions": n_actions,
+            "improved": True, "elapsed_s": 0.0, **extra,
+        }
+
+    @staticmethod
+    def action(cluster=0, kind="row", gain=1.0, is_removal=False, **extra):
+        return {
+            "type": "action", "kind": kind, "index": 0, "cluster": cluster,
+            "is_removal": is_removal, "gain": gain, "residue": 1.0,
+            "volume": 9, **extra,
+        }
+
+    def test_count_mismatch_warns(self):
+        records = [self.action(), self.iteration(0, 1.0, n_actions=3)]
+        analysis = analyze_records(records)
+        assert len(analysis.warnings) == 1
+        assert "n_actions=3" in analysis.warnings[0]
+
+    def test_dangling_actions_warn(self):
+        records = [
+            self.action(), self.iteration(0, 1.0, n_actions=1),
+            self.action(), self.action(),
+        ]
+        analysis = analyze_records(records)
+        [session] = analysis.sessions
+        assert session.dangling_actions == 2
+        assert any("after the last iteration" in w for w in analysis.warnings)
+
+    def test_sessions_separated_by_context(self):
+        records = [
+            self.action(restart=0),
+            self.iteration(0, 2.0, n_actions=1, restart=0),
+            self.action(restart=1),
+            self.iteration(0, 3.0, n_actions=1, restart=1),
+        ]
+        analysis = analyze_records(records)
+        assert len(analysis.sessions) == 2
+        assert [s.key for s in analysis.sessions] == [
+            {"restart": 0}, {"restart": 1},
+        ]
+        assert [s.residue_trajectory for s in analysis.sessions] == [
+            [2.0], [3.0],
+        ]
+
+    def test_unknown_event_types_counted_not_fatal(self):
+        records = [{"type": "future_thing", "x": 1}]
+        analysis = analyze_records(records)
+        assert analysis.event_counts == {"future_thing": 1}
+        assert analysis.warnings == []
+
+    def test_record_without_type_warns(self):
+        analysis = analyze_records([{"x": 1}])
+        assert len(analysis.warnings) == 1
+
+    def test_churn_property(self):
+        records = [
+            self.action(is_removal=False),
+            self.action(is_removal=True),
+            self.iteration(0, 1.0, n_actions=2),
+        ]
+        [session] = analyze_records(records).sessions
+        [sweep] = session.sweeps
+        assert sweep.admissions == 1
+        assert sweep.evictions == 1
+        assert sweep.churn == 2
+
+    def test_histogram_degenerate_range(self):
+        hist = _histogram([2.0, 2.0, 2.0], 2.0, 2.0)
+        assert hist.counts == [3]
+        assert len(hist.edges) == len(hist.counts) + 1
+
+    def test_histogram_binning(self):
+        hist = _histogram([0.0, 0.5, 1.0], 0.0, 1.0)
+        assert sum(hist.counts) == 3
+        assert hist.counts[0] == 1   # 0.0 in the first bucket
+        assert hist.counts[-1] == 1  # hi lands in the last bucket
+
+
+class TestDiffTraces:
+    def test_twinned_exact_vs_fast_runs(self, matrix):
+        _, exact = traced_run(matrix, gain_mode="exact")
+        _, fast = traced_run(matrix, gain_mode="fast")
+        diff = diff_traces(exact, fast)
+        assert diff.deltas, "no aligned iterations"
+        # Same seed, same workload: iteration 0 starts from the same
+        # Phase-1 state, so per-iteration deltas measure gain-mode
+        # divergence only.
+        for delta in diff.deltas:
+            assert delta.residue_delta == delta.residue_b - delta.residue_a
+        summary = diff.to_dict(tol=0.0)
+        assert summary["n_aligned"] == len(diff.deltas)
+        assert summary["max_abs_residue_delta"] >= summary[
+            "mean_abs_residue_delta"
+        ]
+
+    def test_identical_traces_do_not_diverge(self, run):
+        _, records = run
+        diff = diff_traces(records, records)
+        assert diff.n_only_a == diff.n_only_b == 0
+        assert diff.max_abs_residue_delta == 0.0
+        assert diff.first_divergence() is None
+
+    def test_synthetic_divergence_located(self):
+        make = TestHandBuiltStreams.iteration
+        a = [make(0, 5.0), make(1, 4.0), make(2, 3.0)]
+        b = [make(0, 5.0), make(1, 4.5), make(2, 2.0)]
+        diff = diff_traces(a, b)
+        assert [d.residue_delta for d in diff.deltas] == [0.0, 0.5, -1.0]
+        first = diff.first_divergence(tol=0.25)
+        assert first is not None and first.index == 1
+        assert diff.first_divergence(tol=2.0) is None
+        assert diff.final_residue_delta == -1.0
+        assert diff.max_abs_residue_delta == 1.0
+        assert diff.mean_abs_residue_delta == pytest.approx(0.5)
+
+    def test_unpaired_iterations_counted(self):
+        make = TestHandBuiltStreams.iteration
+        a = [make(0, 5.0), make(1, 4.0)]
+        b = [make(0, 5.0)]
+        diff = diff_traces(a, b)
+        assert len(diff.deltas) == 1
+        assert diff.n_only_a == 1
+        assert diff.n_only_b == 0
+
+    def test_sessions_aligned_independently(self):
+        make = TestHandBuiltStreams.iteration
+        a = [make(0, 5.0, restart=0), make(0, 7.0, restart=1)]
+        b = [make(0, 6.0, restart=0), make(0, 7.0, restart=1)]
+        diff = diff_traces(a, b)
+        assert len(diff.deltas) == 2
+        assert [d.key for d in diff.deltas] == [
+            {"restart": 0}, {"restart": 1},
+        ]
+        assert [d.residue_delta for d in diff.deltas] == [1.0, 0.0]
+
+    def test_to_dict_deterministic(self):
+        make = TestHandBuiltStreams.iteration
+        a = [make(0, 5.0), make(1, 4.0)]
+        b = [make(0, 5.5), make(1, 4.0)]
+        first = json.dumps(diff_traces(a, b).to_dict(), sort_keys=True)
+        second = json.dumps(diff_traces(a, b).to_dict(), sort_keys=True)
+        assert first == second

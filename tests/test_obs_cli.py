@@ -92,3 +92,105 @@ def test_tracing_does_not_change_mined_clusters(matrix_path, tmp_path):
         "--trace", str(tmp_path / "t.jsonl"), "--metrics",
     ]) == 0
     assert plain_out.read_text() == traced_out.read_text()
+
+
+@pytest.fixture(scope="module")
+def trace_path(matrix_path, tmp_path_factory):
+    path = tmp_path_factory.mktemp("obs_cli_trace") / "trace.jsonl"
+    assert main([
+        "mine", str(matrix_path), *MINE_ARGS, "--trace", str(path),
+    ]) == 0
+    return path
+
+
+class TestAnalyzeTraceCommand:
+    def test_human_output(self, trace_path, capsys):
+        assert main(["analyze-trace", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "records" in out
+        assert "session [restart=0]" in out
+        assert "session [restart=1]" in out
+        assert "per-cluster lifetime" in out
+        assert "gain histogram" in out
+
+    def test_json_output_is_byte_identical(self, trace_path, capsys):
+        assert main(["analyze-trace", str(trace_path), "--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(["analyze-trace", str(trace_path), "--json"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        payload = json.loads(first)
+        assert payload["schema"] == 1
+        assert payload["warnings"] == []
+        # Per-sweep counts agree with the raw IterationEvent fields.
+        raw = read_jsonl(trace_path)
+        iteration_actions = [
+            r["n_actions"] for r in raw if r["type"] == "iteration"
+        ]
+        analyzed_actions = [
+            sweep["actions_observed"]
+            for session in payload["sessions"]
+            for sweep in session["sweeps"]
+        ]
+        assert analyzed_actions == iteration_actions
+
+    def test_missing_file_is_usage_error(self, capsys):
+        assert main(["analyze-trace", "/no/such/trace.jsonl"]) == 2
+        assert "no such trace file" in capsys.readouterr().err
+
+    def test_malformed_trace_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('garbage\n{"type": "seed"}\n')
+        assert main(["analyze-trace", str(bad)]) == 2
+        assert "malformed trace" in capsys.readouterr().err
+
+    def test_strict_flag_rejects_truncation(self, trace_path, tmp_path,
+                                            capsys):
+        cut = tmp_path / "cut.jsonl"
+        text = trace_path.read_text()
+        cut.write_text(text[: len(text) - 15])
+        assert main(["analyze-trace", str(cut)]) == 0
+        capsys.readouterr()
+        assert main(["analyze-trace", str(cut), "--strict"]) == 2
+        assert "malformed trace" in capsys.readouterr().err
+
+
+class TestDiffTracesCommand:
+    def test_self_diff_reports_no_divergence(self, trace_path, capsys):
+        assert main([
+            "diff-traces", str(trace_path), str(trace_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "0 only in A, 0 only in B" in out
+        assert "no divergence beyond tol=0" in out
+
+    def test_twinned_runs_diverge(self, matrix_path, trace_path, tmp_path,
+                                  capsys):
+        other = tmp_path / "other.jsonl"
+        assert main([
+            "mine", str(matrix_path),
+            "--target", "2.0", "--k", "3", "--restarts", "2",
+            "--reseed-rounds", "2", "--seed", "10",
+            "--trace", str(other),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["diff-traces", str(trace_path), str(other)]) == 0
+        out = capsys.readouterr().out
+        assert "aligned iteration(s)" in out
+        assert "first divergence at iteration" in out
+
+    def test_json_output(self, trace_path, capsys):
+        assert main([
+            "diff-traces", str(trace_path), str(trace_path), "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == 1
+        assert payload["n_only_a"] == 0
+        assert payload["max_abs_residue_delta"] == 0.0
+        assert payload["first_divergence_index"] is None
+
+    def test_missing_file_is_usage_error(self, trace_path, capsys):
+        assert main([
+            "diff-traces", str(trace_path), "/no/such/b.jsonl",
+        ]) == 2
+        assert "no such trace file" in capsys.readouterr().err

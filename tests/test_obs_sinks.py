@@ -1,4 +1,6 @@
-"""Sinks: ring buffer bounds, JSONL round-trip, console progress format."""
+"""Sinks: ring buffer bounds, JSONL round-trip, console progress format,
+statsd / OTLP exporters, and error paths (write-after-close, weird
+payloads, crash-truncated traces)."""
 
 import io
 import json
@@ -10,13 +12,35 @@ from repro.obs import (
     ConsoleProgressSink,
     IterationEvent,
     JsonlSink,
+    OtlpJsonSink,
     RingBufferSink,
     SeedEvent,
+    StatsdSink,
     Tracer,
     read_jsonl,
 )
+from repro.obs.sinks import _jsonable
 
 pytestmark = pytest.mark.obs
+
+
+class FakeTransport:
+    """Captures statsd datagrams instead of sending them."""
+
+    def __init__(self):
+        self.datagrams = []
+        self.closed = False
+
+    def sendto(self, data, address):
+        self.datagrams.append((data, address))
+        return len(data)
+
+    def close(self):
+        self.closed = True
+
+    @property
+    def lines(self):
+        return [data.decode("utf-8") for data, _ in self.datagrams]
 
 
 class TestRingBuffer:
@@ -87,11 +111,42 @@ class TestJsonl:
         with pytest.raises(ValueError):
             sink.write({"type": "x"})
 
-    def test_read_jsonl_rejects_garbage(self, tmp_path):
+    def test_read_jsonl_rejects_mid_file_garbage(self, tmp_path):
         path = tmp_path / "bad.jsonl"
-        path.write_text('{"ok": 1}\nnot json\n')
+        path.write_text('not json\n{"ok": 1}\n')
         with pytest.raises(ValueError, match="invalid JSONL"):
             read_jsonl(path)
+
+    def test_read_jsonl_skips_truncated_final_line(self, tmp_path):
+        path = tmp_path / "cut.jsonl"
+        path.write_text('{"ok": 1}\n{"ok": 2}\n{"type": "acti')
+        assert read_jsonl(path) == [{"ok": 1}, {"ok": 2}]
+
+    def test_read_jsonl_strict_raises_on_truncated_line(self, tmp_path):
+        path = tmp_path / "cut.jsonl"
+        path.write_text('{"ok": 1}\n{"type": "acti')
+        with pytest.raises(ValueError, match="invalid JSONL"):
+            read_jsonl(path, strict=True)
+
+    def test_read_jsonl_trailing_blank_lines_ok(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"ok": 1}\n\n\n')
+        assert read_jsonl(path) == [{"ok": 1}]
+
+    def test_flush_every_makes_trace_tailable(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path, flush_every=2)
+        sink.write({"type": "a", "i": 0})
+        sink.write({"type": "a", "i": 1})
+        # Flushed after the 2nd record: both visible before close.
+        assert len(read_jsonl(path)) == 2
+        sink.write({"type": "a", "i": 2})
+        sink.close()
+        assert len(read_jsonl(path)) == 3
+
+    def test_flush_every_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="flush_every"):
+            JsonlSink(tmp_path / "t.jsonl", flush_every=0)
 
     def test_external_stream_left_open(self):
         buffer = io.StringIO()
@@ -100,6 +155,40 @@ class TestJsonl:
         sink.close()
         assert not buffer.closed
         assert json.loads(buffer.getvalue()) == {"type": "x"}
+
+    def test_non_json_payloads_coerced(self, tmp_path):
+        path = tmp_path / "odd.jsonl"
+        sink = JsonlSink(path)
+        marker = object()
+        sink.write({
+            "type": "x",
+            "raw": b"\xff\xfe",          # non-UTF-8-safe bytes
+            "obj": marker,                # arbitrary object
+            "arr": np.array([1.0, 2.0]),  # numpy array
+        })
+        sink.close()
+        [record] = read_jsonl(path)
+        assert record["arr"] == [1.0, 2.0]
+        assert isinstance(record["raw"], str)
+        assert "object object at" in record["obj"]
+
+
+class TestJsonableHelper:
+    def test_numpy_scalar(self):
+        assert _jsonable(np.float32(1.5)) == 1.5
+
+    def test_numpy_array(self):
+        assert _jsonable(np.array([[1, 2]])) == [[1, 2]]
+
+    def test_zero_dim_array(self):
+        assert _jsonable(np.array(7)) == 7
+
+    def test_fallback_is_str(self):
+        value = _jsonable(object())
+        assert isinstance(value, str)
+
+    def test_bytes_stay_stringifiable(self):
+        assert isinstance(_jsonable(b"\xff"), str)
 
 
 class TestConsoleProgress:
@@ -130,3 +219,179 @@ class TestConsoleProgress:
         assert "-- restart 0 --" in output
         assert "-- restart 1 --" in output
         assert "reseed cluster 2: 5x4" in output
+
+    def test_actions_counted_not_printed(self):
+        stream = io.StringIO()
+        sink = ConsoleProgressSink(stream=stream)
+        for index in range(50):
+            sink.write({"type": "action", "kind": "row", "index": index})
+        assert stream.getvalue() == ""
+        sink.close()
+        assert "50 actions total" in stream.getvalue()
+
+
+class TestStatsd:
+    def _sink(self, **kwargs):
+        transport = FakeTransport()
+        return StatsdSink(transport=transport, **kwargs), transport
+
+    def test_action_lines(self):
+        sink, transport = self._sink()
+        sink.write({"type": "action", "kind": "row", "index": 3,
+                    "cluster": 1, "is_removal": False, "gain": 2.5})
+        assert transport.lines == [
+            "floc.actions:1|c",
+            "floc.admissions:1|c",
+            "floc.action_gain:2.5|h",
+        ]
+        assert sink.n_sent == 3
+
+    def test_eviction_counted(self):
+        sink, transport = self._sink()
+        sink.write({"type": "action", "is_removal": True, "gain": 0.25})
+        assert "floc.evictions:1|c" in transport.lines
+
+    def test_iteration_lines(self):
+        sink, transport = self._sink()
+        sink.write({"type": "iteration", "index": 0, "residue": 1.5,
+                    "total_volume": 60, "n_actions": 12, "improved": True,
+                    "elapsed_s": 0.05})
+        assert transport.lines == [
+            "floc.iterations:1|c",
+            "floc.residue:1.5|g",
+            "floc.total_volume:60|g",
+            "floc.sweep_actions:12|h",
+            "floc.sweep_ms:50|ms",
+        ]
+
+    def test_seed_and_span_and_unknown_lines(self):
+        sink, transport = self._sink()
+        sink.write({"type": "seed", "cluster": 0, "origin": "reseed"})
+        sink.write({"type": "span", "name": "phase2_iteration",
+                    "elapsed_s": 0.002})
+        sink.write({"type": "mystery"})
+        assert transport.lines == [
+            "floc.seeds.reseed:1|c",
+            "floc.span.phase2_iteration:2|ms",
+            "floc.events.mystery:1|c",
+        ]
+
+    def test_prefix_respected(self):
+        sink, transport = self._sink(prefix="paper")
+        sink.write({"type": "seed", "cluster": 0})
+        assert transport.lines == ["paper.seeds.phase1:1|c"]
+
+    def test_datagrams_target_configured_address(self):
+        transport = FakeTransport()
+        sink = StatsdSink(host="10.0.0.9", port=9125, transport=transport)
+        sink.write({"type": "seed"})
+        assert transport.datagrams[0][1] == ("10.0.0.9", 9125)
+
+    def test_write_after_close_raises(self):
+        sink, _ = self._sink()
+        sink.close()
+        with pytest.raises(ValueError, match="closed"):
+            sink.write({"type": "seed"})
+
+    def test_injected_transport_not_closed(self):
+        sink, transport = self._sink()
+        sink.close()
+        assert transport.closed is False
+
+    def test_owned_socket_lifecycle(self):
+        # Fire-and-forget UDP to localhost: nothing listens, nothing raises.
+        sink = StatsdSink(host="127.0.0.1", port=18125)
+        sink.write({"type": "seed"})
+        assert sink.n_sent == 1
+        sink.close()
+        sink.close()  # idempotent
+
+    def test_non_numeric_gain_skipped(self):
+        sink, transport = self._sink()
+        sink.write({"type": "action", "is_removal": False, "gain": "nan?"})
+        assert transport.lines == [
+            "floc.actions:1|c", "floc.admissions:1|c",
+        ]
+
+
+class TestOtlpJson:
+    def test_payload_structure(self, tmp_path):
+        path = tmp_path / "logs.json"
+        sink = OtlpJsonSink(path, service_name="svc", scope="sc")
+        sink.write({"type": "iteration", "index": 2, "residue": 1.5,
+                    "improved": True})
+        sink.close()
+        payload = json.loads(path.read_text())
+        [resource_logs] = payload["resourceLogs"]
+        assert resource_logs["resource"]["attributes"] == [
+            {"key": "service.name", "value": {"stringValue": "svc"}},
+        ]
+        [scope_logs] = resource_logs["scopeLogs"]
+        assert scope_logs["scope"] == {"name": "sc"}
+        [record] = scope_logs["logRecords"]
+        assert record["body"] == {"stringValue": "iteration"}
+        attrs = {a["key"]: a["value"] for a in record["attributes"]}
+        assert attrs["index"] == {"intValue": "2"}
+        assert attrs["residue"] == {"doubleValue": 1.5}
+        assert attrs["improved"] == {"boolValue": True}
+
+    def test_any_value_encoding(self):
+        enc = OtlpJsonSink._any_value
+        assert enc(True) == {"boolValue": True}          # bool before int
+        assert enc(7) == {"intValue": "7"}
+        assert enc(1.5) == {"doubleValue": 1.5}
+        assert enc("x") == {"stringValue": "x"}
+        assert enc(np.float64(2.0)) == {"doubleValue": 2.0}  # float subclass
+        assert enc(np.int64(3)) == {"stringValue": "3"}      # via _jsonable
+
+    def test_write_after_close_raises(self, tmp_path):
+        sink = OtlpJsonSink(tmp_path / "l.json")
+        sink.close()
+        with pytest.raises(ValueError, match="closed"):
+            sink.write({"type": "x"})
+
+    def test_external_stream_left_open(self):
+        buffer = io.StringIO()
+        sink = OtlpJsonSink(buffer)
+        sink.write({"type": "seed", "cluster": 0})
+        sink.close()
+        assert not buffer.closed
+        payload = json.loads(buffer.getvalue())
+        assert payload["resourceLogs"]
+
+    def test_close_idempotent(self, tmp_path):
+        path = tmp_path / "l.json"
+        sink = OtlpJsonSink(path)
+        sink.write({"type": "seed"})
+        sink.close()
+        sink.close()
+        # A single LogsData document, not two.
+        json.loads(path.read_text())
+
+
+class TestWriteAfterClose:
+    """Every sink has a defined post-close behaviour: file/socket-backed
+    sinks raise, purely in-memory sinks tolerate."""
+
+    def test_ring_buffer_tolerates(self):
+        sink = RingBufferSink()
+        sink.close()
+        sink.write({"type": "x"})
+        assert len(sink) == 1
+
+    def test_console_tolerates(self):
+        stream = io.StringIO()
+        sink = ConsoleProgressSink(stream=stream)
+        sink.close()
+        sink.write({"type": "action"})
+
+    def test_file_and_socket_sinks_raise(self, tmp_path):
+        sinks = [
+            JsonlSink(tmp_path / "a.jsonl"),
+            OtlpJsonSink(tmp_path / "b.json"),
+            StatsdSink(transport=FakeTransport()),
+        ]
+        for sink in sinks:
+            sink.close()
+            with pytest.raises(ValueError):
+                sink.write({"type": "x"})

@@ -15,8 +15,10 @@ from repro.obs import (
     ActionEvent,
     IterationEvent,
     MetricsRegistry,
+    OtlpJsonSink,
     RingBufferSink,
     SeedEvent,
+    StatsdSink,
     Tracer,
 )
 
@@ -103,6 +105,33 @@ class TestFlocTracing:
         assert traced.n_actions == plain.n_actions
         assert traced.converged == plain.converged
         assert traced.initial_residue == plain.initial_residue
+        for got, expected in zip(
+            traced.clustering.clusters, plain.clustering.clusters
+        ):
+            assert np.array_equal(got.rows, expected.rows)
+            assert np.array_equal(got.cols, expected.cols)
+
+    def test_exporter_sinks_preserve_parity(self, dataset, tmp_path):
+        """StatsdSink + OtlpJsonSink attached: results stay bit-identical."""
+
+        class NullTransport:
+            def sendto(self, data, address):
+                return len(data)
+
+            def close(self):
+                pass
+
+        plain = floc(dataset.matrix, k=3, rng=11, residue_target=2.0,
+                     reseed_rounds=2)
+        tracer = Tracer(sinks=[
+            StatsdSink(transport=NullTransport()),
+            OtlpJsonSink(tmp_path / "logs.json"),
+        ])
+        traced = floc(dataset.matrix, k=3, rng=11, residue_target=2.0,
+                      reseed_rounds=2, tracer=tracer)
+        tracer.close()
+        assert traced.history == plain.history
+        assert traced.n_actions == plain.n_actions
         for got, expected in zip(
             traced.clustering.clusters, plain.clustering.clusters
         ):
