@@ -1,0 +1,119 @@
+"""Supervision overhead: what fault tolerance costs, and what it buys.
+
+The `repro.runtime` supervisor adds process-pool dispatch, durable
+digest-verified checkpoints, and finalize-from-disk pooling on top of
+the plain in-process restart loop.  That machinery must stay cheap
+relative to the mining it protects, and the parallel path must actually
+pay for itself.  This bench measures, on one workload:
+
+1. the plain in-process `run_restart` loop + pooling (the floor --
+   the same seed-addressable restarts the supervisor dispatches, so
+   the clusterings are directly comparable);
+2. single-worker supervised mining (checkpoint + verify overhead);
+3. multi-worker supervised mining (the speedup fault tolerance enables);
+4. resume of a completed run (the cost of "nothing left to do").
+
+The overhead budget is deliberately loose (supervision may cost up to
+60% of the floor on this laptop-sized workload — process spawn and
+durable fsyncs amortize over runs minutes long, not seconds) but it is
+*asserted*, so a regression that makes checkpointing accidentally
+quadratic or re-executes completed restarts fails the suite rather than
+silently taxing every supervised run.
+"""
+
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.mining import pool_mining_results, run_restart
+from repro.data.synthetic import generate_embedded
+from repro.runtime import RunConfig, resume_run, run_supervised
+
+N_RESTARTS = 4
+WORKERS = 2
+
+
+def _workload():
+    dataset = generate_embedded(
+        120, 24, 3, cluster_shape=(18, 8), noise=1.0, rng=0
+    )
+    config = RunConfig(
+        residue_target=2.0, n_restarts=N_RESTARTS, root_seed=9, k=4,
+        max_iterations=12, min_volume=16, workers=1, max_retries=0,
+    )
+    return dataset.matrix, config
+
+
+def _timed(func):
+    started = time.perf_counter()
+    out = func()
+    return out, time.perf_counter() - started
+
+
+def test_supervision_overhead_and_parallel_payoff(report):
+    matrix, config = _workload()
+    scratch = Path(tempfile.mkdtemp(prefix="bench-runtime-"))
+    try:
+        # 1. The unsupervised floor: same restarts, no supervision.
+        def _plain_loop():
+            runs = [
+                run_restart(
+                    matrix, restart,
+                    residue_target=config.residue_target,
+                    root_seed=config.root_seed, k=config.k,
+                    max_iterations=config.max_iterations,
+                )
+                for restart in range(N_RESTARTS)
+            ]
+            return pool_mining_results(
+                matrix, runs, residue_target=config.residue_target,
+                min_volume=config.min_volume,
+            )
+
+        plain, plain_s = _timed(_plain_loop)
+
+        # 2. Supervised, serial: pure fault-tolerance overhead.
+        serial, serial_s = _timed(lambda: run_supervised(
+            matrix, config, run_dir=scratch / "serial"))
+
+        # 3. Supervised, parallel: the payoff.
+        from dataclasses import replace
+        par_config = replace(config, workers=WORKERS)
+        parallel, parallel_s = _timed(lambda: run_supervised(
+            matrix, par_config, run_dir=scratch / "parallel"))
+
+        # 4. Resume with everything checkpointed: near-free.
+        resumed, resume_s = _timed(lambda: resume_run(
+            matrix, scratch / "serial"))
+
+        assert serial.ok and parallel.ok and resumed.ok
+        assert resumed.executed == []
+
+        shapes = lambda r: [(c.rows, c.cols) for c in r.clustering]  # noqa: E731
+        assert shapes(serial.result) == shapes(plain)
+        assert shapes(parallel.result) == shapes(plain)
+        assert shapes(resumed.result) == shapes(plain)
+
+        overhead = serial_s / plain_s - 1.0
+        speedup = serial_s / parallel_s
+
+        report("runtime_supervision", "\n".join([
+            f"supervised mining overhead/payoff "
+            f"({N_RESTARTS} restarts, {WORKERS} workers)",
+            f"plain restart loop      : {plain_s * 1e3:9.1f} ms",
+            f"supervised, 1 worker    : {serial_s * 1e3:9.1f} ms "
+            f"({100 * overhead:+.1f}% vs plain)",
+            f"supervised, {WORKERS} workers   : {parallel_s * 1e3:9.1f} ms "
+            f"({speedup:.2f}x vs 1 worker)",
+            f"resume (all done)       : {resume_s * 1e3:9.1f} ms",
+            "clusterings             : identical across all four paths",
+        ]))
+
+        assert overhead < 0.60, (
+            f"supervision costs {100 * overhead:.1f}% over the plain loop "
+            f"(budget: 60%)"
+        )
+        assert resume_s < serial_s, "resume must not re-execute restarts"
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)

@@ -44,9 +44,12 @@ from .core import (
     mean_abs_residue,
     mean_squared_residue,
     mine_delta_clusters,
+    pool_mining_results,
     predict_entry,
     prediction_error,
     residue_matrix,
+    restart_seed,
+    run_restart,
     submatrix_residue,
 )
 from .data import (
@@ -72,13 +75,16 @@ from .eval import (
 from .obs import (
     ActionEvent,
     ConsoleProgressSink,
+    FaultEvent,
     IterationEvent,
     JsonlSink,
     MetricsRegistry,
     OtlpJsonSink,
+    RetryEvent,
     RingBufferSink,
     SeedEvent,
     StatsdSink,
+    TaskEvent,
     TraceAnalysis,
     TraceDiff,
     Tracer,
@@ -91,6 +97,17 @@ from .obs import (
     profiled,
     read_jsonl,
 )
+from .runtime import (
+    CheckpointStore,
+    DegradationReport,
+    FaultPlan,
+    FaultSpec,
+    RunConfig,
+    RuntimeResult,
+    TaskFailure,
+    resume_run,
+    run_supervised,
+)
 from .subspace import alternative_delta_clusters, clique, derived_matrix
 
 __version__ = "1.0.0"
@@ -100,12 +117,17 @@ __all__ = [
     "ActionEvent",
     "Bicluster",
     "ChengChurchResult",
+    "CheckpointStore",
     "Clustering",
     "ConsoleProgressSink",
     "Constraints",
     "DataMatrix",
+    "DegradationReport",
     "DeltaCluster",
     "ExperimentConfig",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultSpec",
     "FlocResult",
     "IterationEvent",
     "JsonlSink",
@@ -113,11 +135,16 @@ __all__ = [
     "MiningResult",
     "MovieLensDataset",
     "OtlpJsonSink",
+    "RetryEvent",
     "RingBufferSink",
+    "RunConfig",
+    "RuntimeResult",
     "SeedEvent",
     "SignificanceReport",
     "StatsdSink",
     "SyntheticDataset",
+    "TaskEvent",
+    "TaskFailure",
     "TraceAnalysis",
     "TraceDiff",
     "Tracer",
@@ -148,6 +175,7 @@ __all__ = [
     "mine_delta_clusters",
     "msr",
     "pearson_r",
+    "pool_mining_results",
     "predict_entry",
     "prediction_error",
     "profile_report",
@@ -156,6 +184,10 @@ __all__ = [
     "recall_precision",
     "residue_matrix",
     "residue_significance",
+    "restart_seed",
+    "resume_run",
+    "run_restart",
+    "run_supervised",
     "run_trial",
     "run_trials",
     "submatrix_residue",

@@ -28,7 +28,7 @@ from typing import Any, Dict, List, Optional, Sequence
 import numpy as np
 
 from .core.matrix import DataMatrix
-from .core.mining import mine_delta_clusters
+from .core.mining import MiningResult, mine_delta_clusters
 from .core.predict import predict_entry
 from .obs import ConsoleProgressSink, JsonlSink, MetricsRegistry, Sink, Tracer
 from .obs.analysis import TraceAnalysis, analyze_trace, diff_traces
@@ -99,11 +99,115 @@ def _print_metrics(snapshot: Dict[str, Any]) -> None:
                        title="run metrics"))
 
 
+def _print_mining_result(
+    matrix: DataMatrix, result: MiningResult, args: argparse.Namespace
+) -> None:
+    rows = [
+        [
+            index,
+            cluster.n_rows,
+            cluster.n_cols,
+            cluster.volume(matrix),
+            cluster.residue(matrix),
+        ]
+        for index, cluster in enumerate(result.clustering)
+    ]
+    print(format_table(
+        rows,
+        headers=["cluster", "rows", "cols", "volume", "residue"],
+        title=(
+            f"{len(result.clustering)} delta-clusters "
+            f"(target residue {args.target}, {len(result.runs)} restart(s), "
+            f"{result.elapsed_seconds:.1f}s)"
+        ),
+    ))
+    if args.out:
+        save_clusters(args.out, list(result.clustering))
+        print(f"clusters written to {args.out}")
+    if args.trace:
+        print(f"trace written to {args.trace}")
+    if args.metrics and result.metrics is not None:
+        _print_metrics(result.metrics)
+
+
+def _cmd_mine_supervised(
+    args: argparse.Namespace, matrix: DataMatrix, tracer: Optional[Tracer]
+) -> int:
+    """The fault-tolerant path: ``mine`` under :mod:`repro.runtime`."""
+    from .runtime import RunConfig, resume_run, run_supervised
+
+    kwargs: Dict[str, Any] = {}
+    if tracer is not None:
+        kwargs["tracer"] = tracer
+    if args.resume:
+        if not args.run_dir:
+            print("--resume requires --run-dir", file=sys.stderr)
+            return 2
+        runtime_result = resume_run(
+            matrix, args.run_dir,
+            workers=args.workers,
+            task_timeout=args.task_timeout,
+            max_retries=args.max_retries,
+            **kwargs,
+        )
+    else:
+        config = RunConfig(
+            residue_target=args.target,
+            n_restarts=args.restarts,
+            root_seed=args.seed if args.seed is not None else 0,
+            k=args.k,
+            min_rows=args.min_rows,
+            min_cols=args.min_cols,
+            alpha=args.alpha,
+            p=args.p,
+            reseed_rounds=args.reseed_rounds,
+            max_clusters=args.max_clusters,
+            workers=args.workers if args.workers is not None else 1,
+            task_timeout=args.task_timeout,
+            max_retries=args.max_retries
+            if args.max_retries is not None else 2,
+        )
+        runtime_result = run_supervised(
+            matrix, config, run_dir=args.run_dir, **kwargs,
+        )
+    if runtime_result.skipped:
+        print(f"resumed: {len(runtime_result.skipped)} restart(s) already "
+              f"checkpointed, {len(runtime_result.executed)} executed")
+    if runtime_result.result is not None:
+        _print_mining_result(matrix, runtime_result.result, args)
+    print(f"checkpoints in {runtime_result.run_dir} "
+          f"(continue with: repro mine ... --run-dir "
+          f"{runtime_result.run_dir} --resume)")
+    if runtime_result.degradation is not None:
+        print(f"warning: {runtime_result.degradation.message}",
+              file=sys.stderr)
+        return 3
+    if runtime_result.result is None:
+        print("no restarts completed", file=sys.stderr)
+        return 3
+    return 0
+
+
 def cmd_mine(args: argparse.Namespace) -> int:
-    """Mine delta-clusters from a matrix file and print/save them."""
+    """Mine delta-clusters from a matrix file and print/save them.
+
+    Plain invocations run in-process; any of ``--workers`` /
+    ``--task-timeout`` / ``--run-dir`` / ``--resume`` selects the
+    supervised runtime (checkpointed, retrying, resumable -- see
+    ``docs/ROBUSTNESS.md``).  Exit code 3 signals graceful degradation:
+    some restarts were lost after exhausting retries.
+    """
     matrix = _load_matrix(args.matrix)
     tracer = _build_tracer(args)
+    supervised = (
+        args.workers is not None
+        or args.task_timeout is not None
+        or args.run_dir is not None
+        or args.resume
+    )
     try:
+        if supervised:
+            return _cmd_mine_supervised(args, matrix, tracer)
         result = mine_delta_clusters(
             matrix,
             residue_target=args.target,
@@ -121,32 +225,7 @@ def cmd_mine(args: argparse.Namespace) -> int:
     finally:
         if tracer is not None:
             tracer.close()
-    rows = [
-        [
-            index,
-            cluster.n_rows,
-            cluster.n_cols,
-            cluster.volume(matrix),
-            cluster.residue(matrix),
-        ]
-        for index, cluster in enumerate(result.clustering)
-    ]
-    print(format_table(
-        rows,
-        headers=["cluster", "rows", "cols", "volume", "residue"],
-        title=(
-            f"{len(result.clustering)} delta-clusters "
-            f"(target residue {args.target}, {args.restarts} restart(s), "
-            f"{result.elapsed_seconds:.1f}s)"
-        ),
-    ))
-    if args.out:
-        save_clusters(args.out, list(result.clustering))
-        print(f"clusters written to {args.out}")
-    if args.trace:
-        print(f"trace written to {args.trace}")
-    if args.metrics and result.metrics is not None:
-        _print_metrics(result.metrics)
+    _print_mining_result(matrix, result, args)
     return 0
 
 
@@ -371,10 +450,19 @@ def cmd_diff_traces(args: argparse.Namespace) -> int:
             print(f"no such trace file: {path}", file=sys.stderr)
             return 2
     try:
-        diff = diff_traces(read_jsonl(args.trace_a), read_jsonl(args.trace_b))
+        skipped: List[int] = []
+        diff = diff_traces(
+            read_jsonl(args.trace_a, skipped=skipped),
+            read_jsonl(args.trace_b, skipped=skipped),
+        )
     except ValueError as exc:
         print(f"malformed trace: {exc}", file=sys.stderr)
         return 2
+    if skipped:
+        print(
+            f"warning: {len(skipped)} corrupt line(s) skipped while "
+            "reading the traces", file=sys.stderr,
+        )
     if args.json:
         print(json.dumps(diff.to_dict(tol=args.tol), sort_keys=True, indent=2))
         return 0
@@ -455,6 +543,25 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--metrics", action="store_true",
                       help="collect and print run metrics "
                            "(actions, gain-eval timings, residue)")
+    runtime = mine.add_argument_group(
+        "supervised runtime",
+        "any of these flags runs restarts as checkpointed, retried tasks "
+        "on a process pool (exit code 3 = degraded result)",
+    )
+    runtime.add_argument("--workers", type=int, default=None, metavar="N",
+                         help="worker processes for parallel restarts")
+    runtime.add_argument("--task-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-restart time budget; stragglers are "
+                              "terminated and retried")
+    runtime.add_argument("--max-retries", type=int, default=None, metavar="N",
+                         help="retry budget per restart (default 2)")
+    runtime.add_argument("--run-dir", default=None, metavar="DIR",
+                         help="checkpoint directory (manifest + per-restart "
+                              "records)")
+    runtime.add_argument("--resume", action="store_true",
+                         help="continue a checkpointed session from "
+                              "--run-dir, re-executing only missing restarts")
     mine.set_defaults(func=cmd_mine)
 
     generate = sub.add_parser("generate", help="generate a workload")

@@ -6,7 +6,13 @@ from .clustering import Clustering
 from .constraints import Constraints
 from .floc import FlocResult, floc
 from .matrix import DataMatrix
-from .mining import MiningResult, mine_delta_clusters
+from .mining import (
+    MiningResult,
+    mine_delta_clusters,
+    pool_mining_results,
+    restart_seed,
+    run_restart,
+)
 from .ordering import (
     action_slots,
     fixed_order,
@@ -57,9 +63,12 @@ __all__ = [
     "mean_abs_residue",
     "mean_squared_residue",
     "mixed_seeds",
+    "pool_mining_results",
     "random_order",
     "residue_matrix",
     "resolve_rng",
+    "restart_seed",
+    "run_restart",
     "seeds_from_clusters",
     "submatrix_residue",
     "toggle_occupancy_ok",

@@ -11,12 +11,36 @@ algorithm in the standard practitioner loop:
 
 This is the entry point a downstream user actually wants; ``floc()``
 itself remains the faithful single-run algorithm.
+
+Task decomposition
+------------------
+A mining session is also available as independent, seed-addressable
+tasks for the supervised runtime (:mod:`repro.runtime`):
+
+* :func:`restart_seed` derives restart ``i``'s private
+  :class:`~numpy.random.SeedSequence` from a root seed -- the same
+  child regardless of which process computes it or in what order, so
+  restarts can be scheduled, retried or resumed arbitrarily;
+* :func:`run_restart` executes exactly one restart from its derived
+  seed and returns the :class:`FlocResult`;
+* :func:`pool_mining_results` pools/deduplicates any ordered collection
+  of restart results into a :class:`MiningResult` -- it is the shared
+  tail of :func:`mine_delta_clusters` and of the runtime's
+  checkpoint-replay path, so both produce identical clusterings from
+  identical restart results.
+
+Note the sequential front end threads ONE generator through all
+restarts (restart ``i+1``'s stream continues where ``i`` stopped),
+while the task decomposition gives every restart an independent spawned
+stream.  Both are deterministic, but they are *different* deterministic
+schedules: ``mine_delta_clusters(rng=7)`` and a supervised run with
+root seed 7 agree on the contract, not on the bits.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Union
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -28,7 +52,13 @@ from .floc import FlocResult, floc
 from .matrix import DataMatrix
 from .rng import RngLike, resolve_rng
 
-__all__ = ["MiningResult", "mine_delta_clusters"]
+__all__ = [
+    "MiningResult",
+    "mine_delta_clusters",
+    "pool_mining_results",
+    "restart_seed",
+    "run_restart",
+]
 
 
 @dataclass
@@ -118,7 +148,6 @@ def mine_delta_clusters(
         tracer = NULL_TRACER
 
     runs: List[FlocResult] = []
-    pooled: List[DeltaCluster] = []
     for restart in range(n_restarts):
         if tracer.enabled:
             tracer.push_context(restart=restart)
@@ -140,6 +169,115 @@ def mine_delta_clusters(
             if tracer.enabled:
                 tracer.pop_context()
         runs.append(result)
+
+    result_pool = pool_mining_results(
+        matrix, runs,
+        residue_target=residue_target,
+        min_rows=min_rows,
+        min_cols=min_cols,
+        min_volume=min_volume,
+        max_overlap=max_overlap,
+        max_clusters=max_clusters,
+    )
+    result_pool.metrics = tracer.snapshot_metrics() if tracer.enabled else None
+    result_pool.trace_summary = tracer.summary() if tracer.enabled else None
+    return result_pool
+
+
+def restart_seed(root_seed: int, restart: int) -> np.random.SeedSequence:
+    """Restart ``restart``'s private seed, derived from ``root_seed``.
+
+    Equivalent to ``SeedSequence(root_seed).spawn(n)[restart]`` for any
+    ``n > restart`` but computable without materializing the siblings:
+    the child is addressed directly by its spawn key.  This is what
+    makes restarts independent *tasks* -- any process can reconstruct
+    restart ``i``'s exact stream from ``(root_seed, i)`` alone, so a
+    retried or resumed restart is bit-identical to the original attempt.
+    """
+    if restart < 0:
+        raise ValueError(f"restart index must be >= 0, got {restart}")
+    return np.random.SeedSequence(root_seed, spawn_key=(restart,))
+
+
+def run_restart(
+    matrix: Union[DataMatrix, np.ndarray],
+    restart: int,
+    *,
+    residue_target: float,
+    root_seed: Optional[int] = None,
+    rng: RngLike = None,
+    k: int = 10,
+    min_rows: int = 3,
+    min_cols: int = 3,
+    alpha: float = 0.0,
+    p: Union[float, Sequence[float]] = 0.2,
+    reseed_rounds: int = 10,
+    ordering: str = "greedy",
+    gain_mode: str = "fast",
+    max_iterations: int = 100,
+    tracer: Optional[Tracer] = None,
+) -> FlocResult:
+    """Execute one seed-addressable restart of a mining session.
+
+    Exactly one of ``root_seed`` / ``rng`` must be given: ``root_seed``
+    derives the restart's stream via :func:`restart_seed` (the
+    supervised-runtime path), while an explicit ``rng`` lets callers
+    thread their own stream.  All other parameters mirror
+    :func:`mine_delta_clusters` and are forwarded to :func:`floc`.
+    """
+    if not isinstance(matrix, DataMatrix):
+        matrix = DataMatrix(matrix)
+    if (root_seed is None) == (rng is None):
+        raise ValueError("pass exactly one of root_seed / rng")
+    if rng is None:
+        assert root_seed is not None  # narrowed by the check above
+        rng = restart_seed(root_seed, restart)
+    generator = resolve_rng(rng)
+    constraints = Constraints(min_rows=min_rows, min_cols=min_cols)
+    return floc(
+        matrix, k,
+        p=p,
+        alpha=alpha,
+        ordering=ordering,
+        gain_mode=gain_mode,
+        residue_target=residue_target,
+        reseed_rounds=reseed_rounds,
+        constraints=constraints,
+        rng=generator,
+        max_iterations=max_iterations,
+        tracer=tracer,
+    )
+
+
+def pool_mining_results(
+    matrix: Union[DataMatrix, np.ndarray],
+    runs: Sequence[FlocResult],
+    *,
+    residue_target: float,
+    max_clusters: Optional[int] = None,
+    min_rows: int = 3,
+    min_cols: int = 3,
+    min_volume: int = 25,
+    max_overlap: float = 0.5,
+) -> MiningResult:
+    """Pool restart results into a deduplicated :class:`MiningResult`.
+
+    This is the deterministic tail every mining front end shares:
+    :func:`mine_delta_clusters` calls it on its in-process runs, and the
+    supervised runtime (:mod:`repro.runtime`) calls it on the restart
+    results replayed from a checkpoint store.  The outcome depends only
+    on ``runs`` *in order* (pass them sorted by restart index), never on
+    completion order or scheduling, which is what makes crash/resume
+    parity possible.
+    """
+    if not isinstance(matrix, DataMatrix):
+        matrix = DataMatrix(matrix)
+    if residue_target <= 0:
+        raise ValueError(f"residue_target must be positive, got {residue_target}")
+    if not 0.0 <= max_overlap <= 1.0:
+        raise ValueError(f"max_overlap must be in [0, 1], got {max_overlap}")
+    pooled: List[DeltaCluster] = []
+    for result in runs:
         for cluster in result.clustering:
             if cluster.n_rows < min_rows or cluster.n_cols < min_cols:
                 continue
@@ -148,18 +286,15 @@ def mine_delta_clusters(
             if cluster.residue(matrix) > residue_target:
                 continue
             pooled.append(cluster)
-
     n_pooled = len(pooled)
     kept = _deduplicate(pooled, matrix, max_overlap)
     if max_clusters is not None:
         kept = kept[:max_clusters]
     return MiningResult(
         clustering=Clustering(matrix, kept),
-        runs=runs,
+        runs=list(runs),
         n_pooled=n_pooled,
         n_deduplicated=n_pooled - len(kept),
-        metrics=tracer.snapshot_metrics() if tracer.enabled else None,
-        trace_summary=tracer.summary() if tracer.enabled else None,
     )
 
 

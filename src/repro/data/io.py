@@ -6,12 +6,19 @@ Two formats:
   (values + optional labels) and of cluster index sets.
 * **CSV** -- human-readable matrices where an empty cell means "missing";
   the natural interchange format for ratings tables and expression data.
+
+Plus one durability primitive shared by everything that checkpoints:
+:func:`write_json_atomic` (write-temp, fsync, ``os.replace``), the
+writer behind the runtime's resumable manifests
+(:mod:`repro.runtime.checkpoint`).
 """
 
 from __future__ import annotations
 
 import csv
 import io as _stdlib_io
+import json
+import os
 from pathlib import Path
 from typing import List, Optional, Sequence, Union
 
@@ -28,6 +35,7 @@ __all__ = [
     "load_ratings_triples",
     "save_clusters",
     "load_clusters",
+    "write_json_atomic",
 ]
 
 PathLike = Union[str, Path]
@@ -179,6 +187,48 @@ def load_ratings_triples(
     for user, item, rating in triples:
         values[user, item] = rating
     return DataMatrix(values)
+
+
+def write_json_atomic(
+    path: PathLike,
+    obj: object,
+    *,
+    sort_keys: bool = True,
+    indent: Optional[int] = None,
+) -> Path:
+    """Durably write ``obj`` as JSON to ``path``: all of it or none of it.
+
+    A reader (or a resumed run) never observes a half-written file: the
+    document goes to a temporary file in the same directory, is flushed
+    and fsynced, and only then renamed over ``path`` with the atomic
+    ``os.replace``.  The directory entry is fsynced too where the
+    platform allows, so the rename itself survives a crash.  A run
+    killed mid-checkpoint therefore leaves either the previous complete
+    manifest or the new complete manifest -- never a truncated one.
+
+    Returns the final path.  ``sort_keys=True`` (default) keeps the
+    bytes deterministic for a given ``obj``, which checkpoint digests
+    rely on.
+    """
+    path = Path(path)
+    text = json.dumps(obj, sort_keys=sort_keys, indent=indent)
+    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    try:
+        dir_fd = os.open(str(path.parent), os.O_RDONLY)
+    except OSError:
+        return path  # platform cannot open directories (e.g. Windows)
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass  # directory fsync is best-effort durability hardening
+    finally:
+        os.close(dir_fd)
+    return path
 
 
 def save_clusters(path: PathLike, clusters: Sequence[DeltaCluster]) -> None:

@@ -42,6 +42,14 @@ DCL006
     across runs in long-lived processes -- the same class of hidden
     state DCL001 bans for RNGs.  Core stays pure: state is threaded
     through parameters and return values.
+DCL007
+    No silent exception swallowing in ``repro.core`` or
+    ``repro.runtime``.  A bare ``except:`` (which also traps
+    ``KeyboardInterrupt``/``SystemExit`` -- including the runtime's own
+    task-cancellation paths) and a broad ``except Exception:`` whose
+    body is only ``pass``/``...``/``continue`` turn failures the
+    supervisor must *observe* (retry, degrade, report) into silent
+    corruption.  Catch the specific exception, or handle-and-record.
 """
 
 from __future__ import annotations
@@ -62,6 +70,7 @@ __all__ = [
     "RngParameterRule",
     "DunderAllRule",
     "MutableGlobalWriteRule",
+    "ExceptionSwallowRule",
 ]
 
 
@@ -99,6 +108,10 @@ def _in_core(path: str) -> bool:
 def _in_tests(path: str) -> bool:
     p = _posix(path)
     return p.startswith("tests/") or "/tests/" in p
+
+
+def _in_runtime(path: str) -> bool:
+    return "repro/runtime/" in _posix(path)
 
 
 class FileContext:
@@ -737,6 +750,87 @@ class MutableGlobalWriteRule(Rule):
                     )
 
 
+# ----------------------------------------------------------------------
+# DCL007 -- no silent exception swallowing in core/ and runtime/
+# ----------------------------------------------------------------------
+#: Handler types considered "broad": swallowing one of these silences
+#: every failure mode the supervisor is supposed to observe.
+_BROAD_EXCEPTIONS = {"Exception", "BaseException"}
+
+
+class ExceptionSwallowRule(Rule):
+    """DCL007: forbid silent exception swallowing in core and runtime."""
+
+    code = "DCL007"
+    summary = (
+        "no bare 'except:' and no 'except Exception: pass'-style "
+        "swallowing in src/repro/core/ or src/repro/runtime/: failures "
+        "must surface to the supervisor (retry/degrade/report)"
+    )
+
+    def applies(self, path: str) -> bool:
+        return _in_core(path) or _in_runtime(path)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self._violation(
+                    ctx, node,
+                    "bare 'except:' also traps KeyboardInterrupt/"
+                    "SystemExit (including task cancellation); catch the "
+                    "specific exception instead",
+                )
+            elif self._is_broad(node.type) and self._swallows(node.body):
+                caught = self._render_type(node.type)
+                yield self._violation(
+                    ctx, node,
+                    f"'except {caught}:' with an empty body silently "
+                    "swallows every failure; catch the specific "
+                    "exception, or handle and record it",
+                )
+
+    @classmethod
+    def _is_broad(cls, type_expr: ast.expr) -> bool:
+        """True when the handler catches Exception/BaseException,
+        directly or anywhere in a tuple of types."""
+        candidates: List[ast.expr] = (
+            list(type_expr.elts)
+            if isinstance(type_expr, ast.Tuple) else [type_expr]
+        )
+        for expr in candidates:
+            if isinstance(expr, ast.Name) and expr.id in _BROAD_EXCEPTIONS:
+                return True
+            if (
+                isinstance(expr, ast.Attribute)
+                and expr.attr in _BROAD_EXCEPTIONS
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _swallows(body: Sequence[ast.stmt]) -> bool:
+        """True when the handler body cannot surface the failure:
+        nothing but ``pass`` / ``...`` / ``continue``."""
+        for stmt in body:
+            if isinstance(stmt, (ast.Pass, ast.Continue)):
+                continue
+            if isinstance(stmt, ast.Expr) and isinstance(
+                stmt.value, ast.Constant
+            ):
+                continue  # docstring or Ellipsis literal
+            return False
+        return True
+
+    @staticmethod
+    def _render_type(type_expr: ast.expr) -> str:
+        try:
+            return ast.unparse(type_expr)
+        except Exception:  # pragma: no cover - unparse is total on exprs
+            return "Exception"
+
+
 #: Registry, in code order.  ``lint.py`` instantiates from here; tests
 #: can construct individual rules directly.
 RULES: Tuple[Type[Rule], ...] = (
@@ -746,6 +840,7 @@ RULES: Tuple[Type[Rule], ...] = (
     RngParameterRule,
     DunderAllRule,
     MutableGlobalWriteRule,
+    ExceptionSwallowRule,
 )
 
 

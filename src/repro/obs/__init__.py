@@ -6,7 +6,9 @@ requested:
 * :mod:`repro.obs.tracer` -- the :class:`Tracer` handle threaded through
   :func:`repro.core.floc.floc` and friends (spans + typed events);
 * :mod:`repro.obs.events` -- the typed event vocabulary
-  (:class:`IterationEvent`, :class:`ActionEvent`, :class:`SeedEvent`);
+  (:class:`IterationEvent`, :class:`ActionEvent`, :class:`SeedEvent`,
+  plus the runtime's :class:`TaskEvent` / :class:`RetryEvent` /
+  :class:`FaultEvent`);
 * :mod:`repro.obs.metrics` -- counters / gauges / histograms with a
   plain-dict snapshot;
 * :mod:`repro.obs.sinks` -- ring buffer, JSONL writer, console
@@ -36,8 +38,11 @@ from .analysis import (
 from .events import (
     EVENT_TYPES,
     ActionEvent,
+    FaultEvent,
     IterationEvent,
+    RetryEvent,
     SeedEvent,
+    TaskEvent,
     TraceEvent,
     event_fields,
 )
@@ -70,6 +75,7 @@ __all__ = [
     "Counter",
     "DatagramTransport",
     "EVENT_TYPES",
+    "FaultEvent",
     "Gauge",
     "GainHistogram",
     "Histogram",
@@ -79,6 +85,7 @@ __all__ = [
     "MetricsRegistry",
     "NULL_TRACER",
     "OtlpJsonSink",
+    "RetryEvent",
     "RingBufferSink",
     "SeedEvent",
     "SessionAnalysis",
@@ -87,6 +94,7 @@ __all__ = [
     "Span",
     "StatsdSink",
     "SweepStats",
+    "TaskEvent",
     "TraceAnalysis",
     "TraceDiff",
     "TraceEvent",

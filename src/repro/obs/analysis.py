@@ -513,11 +513,23 @@ def analyze_trace(
 ) -> TraceAnalysis:
     """Load a JSONL trace file and aggregate it.
 
-    ``strict=False`` (the default) tolerates a truncated final line --
-    the signature of a run interrupted mid-write; see
-    :func:`repro.obs.sinks.read_jsonl`.
+    ``strict=False`` (the default) tolerates corrupt lines -- a
+    truncated final line from a run interrupted mid-write, or damaged
+    interior records -- and reports every skipped line number in
+    ``warnings``; see :func:`repro.obs.sinks.read_jsonl`.
     """
-    return analyze_records(read_jsonl(str(path), strict=strict))
+    skipped: List[int] = []
+    records = read_jsonl(str(path), strict=strict, skipped=skipped)
+    analysis = analyze_records(records)
+    if skipped:
+        shown = ", ".join(str(line) for line in skipped[:5])
+        if len(skipped) > 5:
+            shown += ", ..."
+        analysis.warnings.append(
+            f"{len(skipped)} corrupt line(s) skipped while reading the "
+            f"trace (line {shown}): damaged or interrupted recording?"
+        )
+    return analysis
 
 
 # ----------------------------------------------------------------------

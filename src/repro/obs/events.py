@@ -22,6 +22,9 @@ __all__ = [
     "IterationEvent",
     "ActionEvent",
     "SeedEvent",
+    "TaskEvent",
+    "RetryEvent",
+    "FaultEvent",
     "EVENT_TYPES",
     "event_fields",
 ]
@@ -107,6 +110,55 @@ class SeedEvent(TraceEvent):
     volume: Optional[int] = None
 
 
+@dataclass(frozen=True)
+class TaskEvent(TraceEvent):
+    """A supervised restart task changed state.
+
+    ``status`` is one of ``"dispatched"``, ``"completed"``, ``"failed"``
+    or ``"skipped"`` (already checkpointed on resume).  ``attempt`` is
+    0-based; ``error`` carries the failure class name when relevant.
+    """
+
+    type: str = "task"
+    restart: int = 0
+    status: str = "dispatched"
+    attempt: int = 0
+    elapsed_s: float = 0.0
+    error: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class RetryEvent(TraceEvent):
+    """The supervisor scheduled a retry for a failed restart task.
+
+    ``backoff_s`` is the jittered delay actually slept before the next
+    attempt; ``remaining`` counts attempts still available afterwards.
+    """
+
+    type: str = "retry"
+    restart: int = 0
+    attempt: int = 0
+    backoff_s: float = 0.0
+    remaining: int = 0
+    error: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class FaultEvent(TraceEvent):
+    """A declarative fault from a fault plan fired.
+
+    Emitted by whichever side observes the injection: delay/error faults
+    report from the worker, kill/corrupt faults from the supervisor when
+    their effects surface.  ``site``/``kind`` mirror the plan entry.
+    """
+
+    type: str = "fault"
+    site: str = "worker_start"
+    kind: str = "error"
+    restart: int = 0
+    attempt: int = 0
+
+
 #: Registry: the ``type`` discriminator of every domain event mapped to
 #: its dataclass.  Trace *consumers* (:mod:`repro.obs.analysis`) use it
 #: to tell domain events apart from tracer-internal record types
@@ -115,6 +167,9 @@ EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
     "iteration": IterationEvent,
     "action": ActionEvent,
     "seed": SeedEvent,
+    "task": TaskEvent,
+    "retry": RetryEvent,
+    "fault": FaultEvent,
 }
 
 

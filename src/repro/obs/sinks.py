@@ -21,6 +21,7 @@ the tracer context); sinks must not mutate them.
 from __future__ import annotations
 
 import json
+import os
 import socket
 import sys
 from collections import deque
@@ -97,6 +98,11 @@ class JsonlSink(Sink):
     mining sessions produce tailable traces (``tail -f trace.jsonl``);
     the default (``None``) keeps the original buffer-until-close
     behaviour.
+
+    :meth:`close` is checkpoint-safe: when the sink owns the file it
+    flushes *and fsyncs* before closing, so a trace that reached
+    ``close()`` is durable -- a machine crash immediately after a
+    completed run cannot silently truncate it.
     """
 
     def __init__(
@@ -130,26 +136,32 @@ class JsonlSink(Sink):
             return
         self._stream.flush()
         if self._owns:
+            # The sink opened this path itself, so the stream is a real
+            # file: make the bytes durable before releasing the handle.
+            os.fsync(self._stream.fileno())
             self._stream.close()
             self._stream = None
 
 
 def read_jsonl(
-    path: Union[str, Path], strict: bool = False
+    path: Union[str, Path],
+    strict: bool = False,
+    skipped: Optional[List[int]] = None,
 ) -> List[Dict[str, object]]:
     """Load a JSONL trace back into a list of record dicts.
 
-    A run killed mid-write leaves a truncated final line; by default it
-    is skipped so interrupted traces stay analyzable (crash tolerance).
-    Corruption anywhere *else* still raises -- it signals real damage,
-    not interruption.  ``strict=True`` restores the raise-on-anything
-    behaviour for pipelines that must notice partial traces.
+    Crash tolerance, by default: any line that is not valid JSON is
+    *skipped* -- a run killed mid-write leaves a truncated final line,
+    and a crashed disk/fault-injected writer can corrupt an interior
+    line -- so damaged traces stay analyzable.  Pass a list as
+    ``skipped`` to receive the 1-based line numbers of every skipped
+    line; callers should surface a non-empty list to the user rather
+    than pretend the trace was whole.  ``strict=True`` raises
+    ``ValueError`` on the first bad line for pipelines that must notice
+    partial traces.
     """
     records: List[Dict[str, object]] = []
     lines = Path(path).read_text(encoding="utf-8").splitlines()
-    last_content = max(
-        (i for i, line in enumerate(lines) if line.strip()), default=-1
-    )
     for index, line in enumerate(lines):
         stripped = line.strip()
         if not stripped:
@@ -157,11 +169,12 @@ def read_jsonl(
         try:
             records.append(json.loads(stripped))
         except json.JSONDecodeError as exc:
-            if strict or index != last_content:
+            if strict:
                 raise ValueError(
                     f"{path}:{index + 1}: invalid JSONL record: {exc}"
                 ) from exc
-            # Truncated final line from an interrupted run: skip it.
+            if skipped is not None:
+                skipped.append(index + 1)
     return records
 
 

@@ -1,0 +1,79 @@
+"""Fault-tolerant mining runtime: supervision, checkpoints, chaos.
+
+The runtime layers *operational* robustness over the pure algorithms in
+:mod:`repro.core` without touching their semantics:
+
+* :mod:`repro.runtime.config` -- :class:`RunConfig`, the JSON-round-trip
+  description of a mining session (identity fields pin the result;
+  scheduling fields shape execution only);
+* :mod:`repro.runtime.supervisor` -- :func:`run_supervised` /
+  :func:`resume_run`: wave-scheduled restarts on a process pool with
+  per-task timeouts, bounded jittered retries, and graceful degradation
+  (:class:`DegradationReport`) when budgets exhaust;
+* :mod:`repro.runtime.checkpoint` -- :class:`CheckpointStore`: atomic,
+  digest-verified manifest + per-restart records, the substrate of
+  ``repro mine --resume``;
+* :mod:`repro.runtime.worker` -- the process-pool entrypoint executing
+  one seed-addressable restart;
+* :mod:`repro.runtime.faults` -- the deterministic fault-injection
+  harness (``REPRO_FAULT_PLAN``) used by the chaos tests and the CI
+  ``chaos-smoke`` job.
+
+Determinism contract: restart ``i`` of a session is a pure function of
+``(matrix, config identity, i)``, and pooled results are always built
+from durable checkpoint records -- so uninterrupted, crash-riddled, and
+resumed runs of the same session are byte-for-byte identical.  See
+``docs/ROBUSTNESS.md``.
+"""
+
+from ..core.mining import restart_seed
+from .checkpoint import (
+    CheckpointCorruptionError,
+    CheckpointError,
+    CheckpointMismatchError,
+    CheckpointStore,
+    record_digest,
+    record_to_result,
+    result_to_record,
+)
+from .config import RunConfig
+from .faults import (
+    FAULT_PLAN_ENV,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    load_plan_from_env,
+)
+from .supervisor import (
+    BACKOFF_STREAM_KEY,
+    DegradationReport,
+    RuntimeResult,
+    TaskFailure,
+    resume_run,
+    run_supervised,
+)
+from .worker import execute_restart_task
+
+__all__ = [
+    "BACKOFF_STREAM_KEY",
+    "CheckpointCorruptionError",
+    "CheckpointError",
+    "CheckpointMismatchError",
+    "CheckpointStore",
+    "DegradationReport",
+    "FAULT_PLAN_ENV",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "RunConfig",
+    "RuntimeResult",
+    "TaskFailure",
+    "execute_restart_task",
+    "load_plan_from_env",
+    "record_digest",
+    "record_to_result",
+    "restart_seed",
+    "result_to_record",
+    "resume_run",
+    "run_supervised",
+]

@@ -1,0 +1,174 @@
+"""Deterministic fault injection for chaos-testing the runtime.
+
+A *fault plan* is a declarative list of :class:`FaultSpec` entries, each
+naming an injection *site*, a fault *kind*, and the restart/attempt
+window in which it fires.  Plans travel to worker processes through the
+``REPRO_FAULT_PLAN`` environment variable as JSON, so the exact same
+supervisor / worker / checkpoint code paths run under test -- no mocks.
+
+Sites (checked in :mod:`repro.runtime.worker`):
+
+* ``worker_start`` -- before the restart computes anything;
+* ``checkpoint`` -- while the restart record is written (``corrupt``
+  garbles the durable bytes *after* the digest was computed, modelling
+  media corruption);
+* ``worker_end`` -- after the record is durable, before the ack.
+
+Kinds:
+
+* ``kill`` -- ``os._exit(exit_code)``: an abrupt worker death the
+  supervisor sees as a broken pool;
+* ``delay`` -- sleep ``delay_s`` seconds (drive a task past its
+  timeout);
+* ``error`` -- raise :class:`InjectedFault` (an ordinary retryable
+  exception);
+* ``corrupt`` -- flip the checkpoint bytes (only meaningful at the
+  ``checkpoint`` site).
+
+``attempts`` bounds injection per task: the fault fires while the
+task's 0-based attempt is ``< attempts`` (default 1 -- fail the first
+try, succeed on retry), so retry/resume recovery is exercised
+deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "FAULT_PLAN_ENV",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "inject",
+    "load_plan_from_env",
+]
+
+#: Environment variable carrying the JSON-encoded plan to workers.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+_SITES = ("worker_start", "checkpoint", "worker_end")
+_KINDS = ("kill", "delay", "error", "corrupt")
+
+
+class InjectedFault(RuntimeError):
+    """The exception raised by ``error`` faults."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One declarative fault.
+
+    ``restart=None`` matches every restart.  ``attempts`` is the number
+    of injections per task (fires while ``attempt < attempts``).
+    """
+
+    site: str
+    kind: str
+    restart: Optional[int] = None
+    attempts: int = 1
+    delay_s: float = 0.0
+    exit_code: int = 17
+
+    def __post_init__(self) -> None:
+        if self.site not in _SITES:
+            raise ValueError(
+                f"unknown fault site {self.site!r}; expected one of {_SITES}"
+            )
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {_KINDS}"
+            )
+        if self.kind == "corrupt" and self.site != "checkpoint":
+            raise ValueError("corrupt faults only apply at the checkpoint site")
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0, got {self.delay_s}")
+
+    def matches(self, site: str, restart: int, attempt: int) -> bool:
+        return (
+            self.site == site
+            and (self.restart is None or self.restart == restart)
+            and attempt < self.attempts
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered collection of :class:`FaultSpec` entries."""
+
+    specs: Tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def find(self, site: str, restart: int, attempt: int) -> Optional[FaultSpec]:
+        """First spec matching ``(site, restart, attempt)``, or ``None``."""
+        for spec in self.specs:
+            if spec.matches(site, restart, attempt):
+                return spec
+        return None
+
+    # -- serialization --------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps([asdict(spec) for spec in self.specs])
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"fault plan is not valid JSON: {exc}") from exc
+        if not isinstance(raw, list):
+            raise ValueError("fault plan must be a JSON list of specs")
+        specs: List[FaultSpec] = []
+        for entry in raw:
+            if not isinstance(entry, dict):
+                raise ValueError(f"fault spec must be an object: {entry!r}")
+            specs.append(FaultSpec(**entry))
+        return cls(tuple(specs))
+
+    def to_env(self, env: Optional[Dict[str, str]] = None) -> Dict[str, str]:
+        """Install the plan into ``env`` (default ``os.environ``)."""
+        target = os.environ if env is None else env
+        target[FAULT_PLAN_ENV] = self.to_json()
+        return dict(target)
+
+
+def load_plan_from_env() -> Optional[FaultPlan]:
+    """The plan in ``REPRO_FAULT_PLAN``, or ``None`` when unset/empty."""
+    text = os.environ.get(FAULT_PLAN_ENV, "").strip()
+    if not text:
+        return None
+    return FaultPlan.from_json(text)
+
+
+def inject(site: str, restart: int, attempt: int) -> Optional[FaultSpec]:
+    """Fire any environment-configured fault for this injection point.
+
+    ``kill`` exits the process, ``delay`` sleeps, ``error`` raises
+    :class:`InjectedFault`.  ``corrupt`` specs are *returned* so the
+    caller (the checkpoint writer) applies the corruption to the bytes
+    it controls; all other paths return ``None``.
+    """
+    plan = load_plan_from_env()
+    if plan is None:
+        return None
+    spec = plan.find(site, restart, attempt)
+    if spec is None:
+        return None
+    if spec.kind == "kill":
+        os._exit(spec.exit_code)
+    if spec.kind == "delay":
+        time.sleep(spec.delay_s)
+        return None
+    if spec.kind == "error":
+        raise InjectedFault(
+            f"injected fault at {site} (restart={restart}, attempt={attempt})"
+        )
+    return spec  # corrupt: handled by the caller

@@ -1,0 +1,112 @@
+"""Worker-side entrypoint for supervised restart tasks.
+
+:func:`execute_restart_task` is the module-level function the supervisor
+submits to its :class:`~concurrent.futures.ProcessPoolExecutor` (it must
+be importable by name so it pickles).  Each invocation is a pure,
+seed-addressable unit of work: restart ``i`` of the session described by
+a :class:`~repro.runtime.config.RunConfig` draws its private RNG stream
+from ``restart_seed(config.root_seed, i)``, so *any* process -- first
+attempt, retry, or resume -- reproduces the identical result.
+
+The worker persists its own restart record (atomic write + digest)
+before acking, so a success ack always implies a durable checkpoint.
+Fault hooks (:func:`repro.runtime.faults.inject`) run at worker start,
+around the checkpoint write, and at worker end -- keyed off the
+``REPRO_FAULT_PLAN`` environment variable, which child processes
+inherit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..core.matrix import DataMatrix
+from ..core.mining import run_restart
+from ..data.io import write_json_atomic
+from .checkpoint import record_digest, result_to_record
+from .config import RunConfig
+from .faults import FaultSpec, inject
+
+__all__ = ["TaskPayload", "execute_restart_task"]
+
+#: The argument bundle pickled to workers (kept a plain dict so the
+#: payload survives refactors of either side independently).
+TaskPayload = Dict[str, object]
+
+
+def _corrupt_bytes(text: str) -> str:
+    """Deterministically garble a serialized record (media-corruption
+    model): truncate the tail and damage the JSON structure."""
+    keep = max(1, len(text) // 2)
+    return text[:keep] + "\x00corrupt"
+
+
+def _write_record(
+    run_dir: Path,
+    restart: int,
+    record: Dict[str, object],
+    corrupt: Optional[FaultSpec],
+) -> None:
+    path = run_dir / "restarts" / f"restart-{restart:05d}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if corrupt is None:
+        write_json_atomic(path, record)
+        return
+    # Injected corruption: the atomic rename still happens (the write
+    # itself succeeded from the filesystem's point of view) but the
+    # payload bytes are damaged, which the digest check catches on load.
+    text = _corrupt_bytes(json.dumps(record, sort_keys=True))
+    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def execute_restart_task(payload: TaskPayload) -> Dict[str, object]:
+    """Run one restart, persist its record, and return a small ack.
+
+    ``payload`` keys: ``matrix`` (:class:`DataMatrix`), ``config``
+    (:meth:`RunConfig.to_dict` output), ``restart``, ``attempt``, and
+    ``run_dir``.  The ack is ``{"restart", "attempt", "digest"}`` --
+    the record itself is read back from disk by the supervisor, which
+    both verifies durability and keeps the pooled result byte-identical
+    between uninterrupted and resumed runs.
+    """
+    restart = int(payload["restart"])  # type: ignore[arg-type]
+    attempt = int(payload["attempt"])  # type: ignore[arg-type]
+    config = RunConfig.from_dict(dict(payload["config"]))  # type: ignore[arg-type]
+    matrix = payload["matrix"]
+    if not isinstance(matrix, DataMatrix):
+        matrix = DataMatrix(matrix)
+    run_dir = Path(str(payload["run_dir"]))
+
+    inject("worker_start", restart, attempt)
+
+    result = run_restart(
+        matrix,
+        restart,
+        residue_target=config.residue_target,
+        root_seed=config.root_seed,
+        k=config.k,
+        min_rows=config.min_rows,
+        min_cols=config.min_cols,
+        alpha=config.alpha,
+        p=config.p,
+        reseed_rounds=config.reseed_rounds,
+        ordering=config.ordering,
+        gain_mode=config.gain_mode,
+        max_iterations=config.max_iterations,
+    )
+
+    record = result_to_record(restart, result)
+    corrupt = inject("checkpoint", restart, attempt)
+    _write_record(run_dir, restart, record, corrupt)
+
+    inject("worker_end", restart, attempt)
+    return {
+        "restart": restart,
+        "attempt": attempt,
+        "digest": record_digest(record),
+    }

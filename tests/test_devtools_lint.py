@@ -338,6 +338,106 @@ class TestMutableGlobalWrite:
 
 
 # ----------------------------------------------------------------------
+# DCL007 -- no silent exception swallowing in core/ and runtime/
+# ----------------------------------------------------------------------
+RUNTIME_PATH = "src/repro/runtime/fixture.py"
+
+
+class TestExceptionSwallow:
+    def test_bare_except_fires(self):
+        src = (
+            "__all__ = []\n"
+            "def _f():\n"
+            "    try:\n        return 1\n"
+            "    except:\n        return 0\n"
+        )
+        assert codes(lint_source(src, CORE_PATH)) == ["DCL007"]
+
+    def test_bare_except_fires_in_runtime(self):
+        src = (
+            "__all__ = []\n"
+            "def _f():\n"
+            "    try:\n        return 1\n"
+            "    except:\n        return 0\n"
+        )
+        assert codes(lint_source(src, RUNTIME_PATH)) == ["DCL007"]
+
+    def test_broad_except_pass_fires(self):
+        src = (
+            "__all__ = []\n"
+            "def _f():\n"
+            "    try:\n        _g()\n"
+            "    except Exception:\n        pass\n"
+        )
+        assert codes(lint_source(src, CORE_PATH)) == ["DCL007"]
+
+    def test_base_exception_ellipsis_fires(self):
+        src = (
+            "__all__ = []\n"
+            "def _f():\n"
+            "    try:\n        _g()\n"
+            "    except BaseException:\n        ...\n"
+        )
+        assert codes(lint_source(src, RUNTIME_PATH)) == ["DCL007"]
+
+    def test_broad_except_continue_fires(self):
+        src = (
+            "__all__ = []\n"
+            "def _f(items):\n"
+            "    for item in items:\n"
+            "        try:\n            _g(item)\n"
+            "        except Exception:\n            continue\n"
+        )
+        assert codes(lint_source(src, RUNTIME_PATH)) == ["DCL007"]
+
+    def test_broad_except_in_tuple_pass_fires(self):
+        src = (
+            "__all__ = []\n"
+            "def _f():\n"
+            "    try:\n        _g()\n"
+            "    except (ValueError, Exception):\n        pass\n"
+        )
+        assert codes(lint_source(src, CORE_PATH)) == ["DCL007"]
+
+    def test_broad_except_with_handling_ok(self):
+        src = (
+            "__all__ = []\n"
+            "def _f(log):\n"
+            "    try:\n        return _g()\n"
+            "    except Exception as exc:\n"
+            "        log.append(exc)\n        return None\n"
+        )
+        assert lint_source(src, CORE_PATH) == []
+
+    def test_broad_except_reraise_ok(self):
+        src = (
+            "__all__ = []\n"
+            "def _f():\n"
+            "    try:\n        return _g()\n"
+            "    except Exception:\n        raise\n"
+        )
+        assert lint_source(src, RUNTIME_PATH) == []
+
+    def test_specific_except_pass_ok(self):
+        src = (
+            "__all__ = []\n"
+            "def _f():\n"
+            "    try:\n        return _g()\n"
+            "    except ValueError:\n        pass\n"
+        )
+        assert lint_source(src, CORE_PATH) == []
+
+    def test_outside_core_and_runtime_exempt(self):
+        src = (
+            "__all__ = []\n"
+            "def _f():\n"
+            "    try:\n        return 1\n"
+            "    except:\n        return 0\n"
+        )
+        assert lint_source(src, OTHER_PATH) == []
+
+
+# ----------------------------------------------------------------------
 # Suppression comments
 # ----------------------------------------------------------------------
 class TestSuppression:
@@ -390,6 +490,7 @@ class TestEngine:
     def test_registry_is_complete(self):
         assert [cls.code for cls in RULES] == [
             "DCL001", "DCL002", "DCL003", "DCL004", "DCL005", "DCL006",
+            "DCL007",
         ]
 
     def test_collect_files_skips_pycache(self, tmp_path):

@@ -8,6 +8,8 @@ incremental fast-gain caches.
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.constraints import Constraints
 from repro.core.floc import (
@@ -264,3 +266,78 @@ class TestFastCaches:
         assert (state.row_member == snapshot["row_member"]).all()
         assert np.allclose(state.row_sums, snapshot["row_sums"])
         assert np.allclose(state.residues, snapshot["residues"])
+
+
+class TestSnapshotRestoreProperty:
+    """Snapshot/restore must be a *bit-exact* undo, not an approximate one.
+
+    Twin construction: both states apply the same prefix ``t1``; one then
+    detours through ``t2`` and restores the snapshot.  Every piece of
+    state -- membership, residues, occupancy counts, fast caches -- and
+    every subsequent toggle-gain evaluation must be bitwise identical to
+    the twin that never detoured.  (The checkpoint/resume parity of
+    ``repro.runtime`` rests on this class of exact-undo invariant.)
+    """
+
+    N_ROWS, N_COLS, K = 12, 7, 3
+
+    _toggle_ops = st.lists(
+        st.tuples(
+            st.booleans(),
+            st.integers(0, 10 ** 6),
+            st.integers(0, 10 ** 6),
+        ),
+        max_size=12,
+    )
+
+    def _make_twins(self, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(size=(self.N_ROWS, self.N_COLS))
+        values[rng.random(size=values.shape) < 0.15] = NAN
+        mask = ~np.isnan(values)
+        seeds = bernoulli_seeds(
+            self.N_ROWS, self.N_COLS, self.K, 0.4,
+            np.random.default_rng(seed + 1),
+        )
+        return (
+            _State(values, mask, seeds, fast=True),
+            _State(values, mask, seeds, fast=True),
+        )
+
+    def _apply(self, state, ops):
+        for is_row, index, cluster in ops:
+            kind = "row" if is_row else "col"
+            limit = self.N_ROWS if is_row else self.N_COLS
+            state.toggle(kind, index % limit, cluster % self.K)
+
+    @staticmethod
+    def _assert_bit_identical(a, b, label):
+        a, b = np.asarray(a), np.asarray(b)
+        if a.dtype.kind == "f":
+            assert np.array_equal(a, b, equal_nan=True), label
+        else:
+            assert np.array_equal(a, b), label
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2 ** 16), t1=_toggle_ops,
+           t2=_toggle_ops)
+    def test_round_trip_is_bit_exact(self, seed, t1, t2):
+        state, twin = self._make_twins(seed)
+        self._apply(state, t1)
+        self._apply(twin, t1)
+        snapshot = state.snapshot()
+        self._apply(state, t2)
+        state.restore(snapshot)
+        for attr in ("row_member", "col_member", "residues", "volumes",
+                     "row_sums", "row_counts", "col_sums", "col_counts"):
+            self._assert_bit_identical(
+                getattr(state, attr), getattr(twin, attr), attr
+            )
+        for kind, limit in (("row", self.N_ROWS), ("col", self.N_COLS)):
+            for index in range(limit):
+                parts_a = state.candidate_parts_batch(kind, index)
+                parts_b = twin.candidate_parts_batch(kind, index)
+                for part_a, part_b in zip(parts_a, parts_b):
+                    self._assert_bit_identical(
+                        part_a, part_b, (kind, index)
+                    )

@@ -1,5 +1,7 @@
 """Unit tests for matrix and cluster persistence."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -13,6 +15,7 @@ from repro.data.io import (
     save_clusters,
     save_matrix_csv,
     save_matrix_npz,
+    write_json_atomic,
 )
 
 NAN = float("nan")
@@ -164,3 +167,36 @@ class TestClusterRoundTrip:
         path.write_text("rows: 1\nrows: 2\n")
         with pytest.raises(ValueError, match="malformed"):
             load_clusters(path)
+
+
+class TestWriteJsonAtomic:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        obj = {"b": [1, 2], "a": {"nested": True}, "x": 1.5}
+        write_json_atomic(path, obj)
+        assert json.loads(path.read_text()) == obj
+
+    def test_replaces_existing_file(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        write_json_atomic(path, {"version": 1})
+        write_json_atomic(path, {"version": 2})
+        assert json.loads(path.read_text()) == {"version": 2}
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        write_json_atomic(path, {"ok": True})
+        assert [p.name for p in tmp_path.iterdir()] == ["manifest.json"]
+
+    def test_deterministic_bytes(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        obj = {"z": 1, "a": 2, "m": [3, 4]}
+        write_json_atomic(a, obj)
+        write_json_atomic(b, dict(reversed(list(obj.items()))))
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_unserializable_object_leaves_target_untouched(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        write_json_atomic(path, {"version": 1})
+        with pytest.raises(TypeError):
+            write_json_atomic(path, {"bad": object()})
+        assert json.loads(path.read_text()) == {"version": 1}

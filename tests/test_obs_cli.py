@@ -138,10 +138,16 @@ class TestAnalyzeTraceCommand:
         assert main(["analyze-trace", "/no/such/trace.jsonl"]) == 2
         assert "no such trace file" in capsys.readouterr().err
 
-    def test_malformed_trace_reported(self, tmp_path, capsys):
+    def test_malformed_trace_skipped_with_warning(self, tmp_path, capsys):
         bad = tmp_path / "bad.jsonl"
         bad.write_text('garbage\n{"type": "seed"}\n')
-        assert main(["analyze-trace", str(bad)]) == 2
+        assert main(["analyze-trace", str(bad)]) == 0
+        assert "corrupt line(s) skipped" in capsys.readouterr().err
+
+    def test_malformed_trace_rejected_under_strict(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('garbage\n{"type": "seed"}\n')
+        assert main(["analyze-trace", str(bad), "--strict"]) == 2
         assert "malformed trace" in capsys.readouterr().err
 
     def test_strict_flag_rejects_truncation(self, trace_path, tmp_path,

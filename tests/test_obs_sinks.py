@@ -111,22 +111,38 @@ class TestJsonl:
         with pytest.raises(ValueError):
             sink.write({"type": "x"})
 
-    def test_read_jsonl_rejects_mid_file_garbage(self, tmp_path):
+    def test_read_jsonl_skips_mid_file_garbage_and_counts_it(self, tmp_path):
+        # Regression: interior corruption (a fault-injected or damaged
+        # record mid-file) must be skippable, not just the final line.
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n{"ok": 2}\n')
+        skipped = []
+        assert read_jsonl(path, skipped=skipped) == [{"ok": 1}, {"ok": 2}]
+        assert skipped == [2]
+
+    def test_read_jsonl_strict_raises_on_mid_file_garbage(self, tmp_path):
         path = tmp_path / "bad.jsonl"
         path.write_text('not json\n{"ok": 1}\n')
         with pytest.raises(ValueError, match="invalid JSONL"):
-            read_jsonl(path)
+            read_jsonl(path, strict=True)
 
     def test_read_jsonl_skips_truncated_final_line(self, tmp_path):
         path = tmp_path / "cut.jsonl"
         path.write_text('{"ok": 1}\n{"ok": 2}\n{"type": "acti')
-        assert read_jsonl(path) == [{"ok": 1}, {"ok": 2}]
+        skipped = []
+        assert read_jsonl(path, skipped=skipped) == [{"ok": 1}, {"ok": 2}]
+        assert skipped == [3]
 
     def test_read_jsonl_strict_raises_on_truncated_line(self, tmp_path):
         path = tmp_path / "cut.jsonl"
         path.write_text('{"ok": 1}\n{"type": "acti')
         with pytest.raises(ValueError, match="invalid JSONL"):
             read_jsonl(path, strict=True)
+
+    def test_read_jsonl_skip_list_optional(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('garbage\n{"ok": 1}\n')
+        assert read_jsonl(path) == [{"ok": 1}]
 
     def test_read_jsonl_trailing_blank_lines_ok(self, tmp_path):
         path = tmp_path / "t.jsonl"

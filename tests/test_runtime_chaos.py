@@ -1,0 +1,132 @@
+"""Chaos tests: crash mid-run, resume, and demand bit-identical results.
+
+The determinism contract under test (docs/ROBUSTNESS.md): a run that is
+killed and corrupted partway through, then resumed with the faults gone,
+pools to *exactly* the clustering an uninterrupted run produces -- same
+clusters, same history floats, same serialized bytes.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.matrix import DataMatrix
+from repro.runtime import (
+    FAULT_PLAN_ENV,
+    FaultPlan,
+    FaultSpec,
+    RunConfig,
+    resume_run,
+    run_supervised,
+)
+
+pytestmark = pytest.mark.runtime
+
+
+@pytest.fixture
+def matrix():
+    rng = np.random.default_rng(21)
+    values = rng.normal(size=(16, 8))
+    values[:7, :5] += 3.5
+    return DataMatrix(values)
+
+
+@pytest.fixture
+def config():
+    return RunConfig(residue_target=1.5, n_restarts=4, root_seed=5, k=2,
+                     max_iterations=4, min_volume=9, workers=2,
+                     max_retries=0)
+
+
+def serialized(result):
+    """Canonical bytes for a pooled mining result, like the on-disk path."""
+    payload = {
+        "clustering": [[list(c.rows), list(c.cols)]
+                       for c in result.clustering],
+        "histories": [run.history for run in result.runs],
+        "initial_residues": [run.initial_residue for run in result.runs],
+    }
+    return json.dumps(payload, sort_keys=True)
+
+
+@pytest.fixture(autouse=True)
+def _no_fault_plan(monkeypatch):
+    monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+
+
+class TestCrashResumeParity:
+    def test_kill_and_corrupt_then_resume_is_bit_identical(
+            self, matrix, config, tmp_path, monkeypatch):
+        # Ground truth: an uninterrupted run.
+        baseline = run_supervised(matrix, config, run_dir=tmp_path / "a")
+        assert baseline.ok
+
+        # Chaos run: one worker dies, another's checkpoint is garbled,
+        # and with max_retries=0 nothing recovers in-run.
+        plan = FaultPlan((
+            FaultSpec(site="worker_start", kind="kill", restart=2),
+            FaultSpec(site="checkpoint", kind="corrupt", restart=1),
+        ))
+        monkeypatch.setenv(FAULT_PLAN_ENV, plan.to_json())
+        crashed = run_supervised(matrix, config, run_dir=tmp_path / "b")
+        assert not crashed.ok
+        assert crashed.degradation is not None
+        missing = set(crashed.degradation.missing)
+        assert {1, 2} <= missing
+
+        # The faults clear (the "process restarted" scenario) and we
+        # resume: only the lost restarts re-execute.
+        monkeypatch.delenv(FAULT_PLAN_ENV)
+        resumed = resume_run(matrix, tmp_path / "b")
+        assert resumed.ok
+        assert set(resumed.executed) == missing
+        assert set(resumed.skipped) == set(range(4)) - missing
+
+        assert serialized(resumed.result) == serialized(baseline.result)
+
+    def test_flaky_run_with_retries_matches_clean_run(
+            self, matrix, config, tmp_path, monkeypatch):
+        from dataclasses import replace
+        retrying = replace(config, max_retries=2)
+
+        baseline = run_supervised(matrix, retrying, run_dir=tmp_path / "a")
+        assert baseline.ok
+
+        # Every fault kind at once, each recoverable within the retry
+        # budget -- the run should self-heal with no degradation.
+        plan = FaultPlan((
+            FaultSpec(site="worker_start", kind="error", restart=0),
+            FaultSpec(site="worker_start", kind="kill", restart=2),
+            FaultSpec(site="checkpoint", kind="corrupt", restart=3),
+        ))
+        monkeypatch.setenv(FAULT_PLAN_ENV, plan.to_json())
+        flaky = run_supervised(matrix, retrying, run_dir=tmp_path / "b",
+                               sleep=lambda _s: None)
+        assert flaky.ok
+        assert flaky.degradation is None
+        assert serialized(flaky.result) == serialized(baseline.result)
+
+    def test_double_crash_then_resume(self, matrix, config, tmp_path,
+                                      monkeypatch):
+        baseline = run_supervised(matrix, config, run_dir=tmp_path / "a")
+
+        plan = FaultPlan((FaultSpec(site="worker_start", kind="kill",
+                                    restart=3, attempts=10),))
+        monkeypatch.setenv(FAULT_PLAN_ENV, plan.to_json())
+        first = run_supervised(matrix, config, run_dir=tmp_path / "b")
+        assert not first.ok
+        banked = set(range(4)) - set(first.degradation.missing)
+        # Second attempt still faulted: resume makes no progress on 3
+        # (a pool kill may also collaterally fail same-wave peers) but
+        # never loses what is already banked.
+        second = resume_run(matrix, tmp_path / "b")
+        assert not second.ok
+        assert 3 in second.degradation.missing
+        assert set(second.skipped) >= banked
+
+        monkeypatch.delenv(FAULT_PLAN_ENV)
+        third = resume_run(matrix, tmp_path / "b")
+        assert third.ok
+        assert 3 in third.executed
+        assert serialized(third.result) == serialized(baseline.result)

@@ -1,0 +1,120 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+import pytest
+
+from repro.runtime.faults import (
+    FAULT_PLAN_ENV,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    inject,
+    load_plan_from_env,
+)
+
+pytestmark = pytest.mark.runtime
+
+
+class TestFaultSpec:
+    def test_defaults(self):
+        spec = FaultSpec(site="worker_start", kind="error")
+        assert spec.restart is None and spec.attempts == 1
+
+    @pytest.mark.parametrize("kwargs,match", [
+        ({"site": "nowhere", "kind": "error"}, "unknown fault site"),
+        ({"site": "worker_start", "kind": "explode"}, "unknown fault kind"),
+        ({"site": "worker_start", "kind": "corrupt"}, "checkpoint site"),
+        ({"site": "worker_start", "kind": "error", "attempts": 0},
+         "attempts"),
+        ({"site": "worker_start", "kind": "delay", "delay_s": -1.0},
+         "delay_s"),
+    ])
+    def test_validation(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            FaultSpec(**kwargs)
+
+    def test_matching_window(self):
+        spec = FaultSpec(site="worker_start", kind="error", restart=2,
+                         attempts=2)
+        assert spec.matches("worker_start", 2, 0)
+        assert spec.matches("worker_start", 2, 1)
+        assert not spec.matches("worker_start", 2, 2)  # retries recover
+        assert not spec.matches("worker_start", 3, 0)  # other restart
+        assert not spec.matches("worker_end", 2, 0)    # other site
+
+    def test_wildcard_restart(self):
+        spec = FaultSpec(site="worker_end", kind="kill")
+        assert spec.matches("worker_end", 0, 0)
+        assert spec.matches("worker_end", 99, 0)
+
+
+class TestFaultPlan:
+    def test_json_round_trip(self):
+        plan = FaultPlan((
+            FaultSpec(site="worker_start", kind="kill", restart=1),
+            FaultSpec(site="checkpoint", kind="corrupt", restart=2,
+                      attempts=3),
+        ))
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_env_round_trip(self, monkeypatch):
+        plan = FaultPlan((FaultSpec(site="worker_start", kind="delay",
+                                    delay_s=0.5),))
+        env = {}
+        plan.to_env(env)
+        monkeypatch.setenv(FAULT_PLAN_ENV, env[FAULT_PLAN_ENV])
+        assert load_plan_from_env() == plan
+
+    def test_no_plan_in_env(self, monkeypatch):
+        monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+        assert load_plan_from_env() is None
+        monkeypatch.setenv(FAULT_PLAN_ENV, "   ")
+        assert load_plan_from_env() is None
+
+    def test_malformed_plan_rejected(self):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            FaultPlan.from_json("{oops")
+        with pytest.raises(ValueError, match="JSON list"):
+            FaultPlan.from_json('{"site": "worker_start"}')
+        with pytest.raises(ValueError, match="must be an object"):
+            FaultPlan.from_json('["kill"]')
+
+    def test_find_first_match(self):
+        plan = FaultPlan((
+            FaultSpec(site="worker_start", kind="error", restart=1),
+            FaultSpec(site="worker_start", kind="kill"),
+        ))
+        assert plan.find("worker_start", 1, 0).kind == "error"
+        assert plan.find("worker_start", 5, 0).kind == "kill"
+        assert plan.find("checkpoint", 1, 0) is None
+
+
+class TestInject:
+    def test_no_env_is_noop(self, monkeypatch):
+        monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+        assert inject("worker_start", 0, 0) is None
+
+    def test_error_kind_raises(self, monkeypatch):
+        plan = FaultPlan((FaultSpec(site="worker_start", kind="error",
+                                    restart=0),))
+        monkeypatch.setenv(FAULT_PLAN_ENV, plan.to_json())
+        with pytest.raises(InjectedFault, match="restart=0"):
+            inject("worker_start", 0, 0)
+        # Out of the injection window: no-op.
+        assert inject("worker_start", 0, 1) is None
+        assert inject("worker_start", 1, 0) is None
+
+    def test_corrupt_kind_returned_to_caller(self, monkeypatch):
+        plan = FaultPlan((FaultSpec(site="checkpoint", kind="corrupt"),))
+        monkeypatch.setenv(FAULT_PLAN_ENV, plan.to_json())
+        spec = inject("checkpoint", 3, 0)
+        assert spec is not None and spec.kind == "corrupt"
+
+    def test_delay_kind_sleeps(self, monkeypatch):
+        slept = []
+        import repro.runtime.faults as faults_mod
+        monkeypatch.setattr(faults_mod.time, "sleep", slept.append)
+        plan = FaultPlan((FaultSpec(site="worker_end", kind="delay",
+                                    delay_s=2.5),))
+        monkeypatch.setenv(FAULT_PLAN_ENV, plan.to_json())
+        assert inject("worker_end", 0, 0) is None
+        assert slept == [2.5]
