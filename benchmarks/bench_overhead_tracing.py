@@ -24,14 +24,16 @@ import time
 from repro.core.floc import floc
 from repro.data.synthetic import generate_embedded
 from repro.obs import NULL_TRACER, IterationEvent, JsonlSink, \
-    MetricsRegistry, OtlpJsonSink, RingBufferSink, StatsdSink, Tracer
+    MetricsRegistry, OtlpJsonSink, RingBufferSink, StatsdSink, Tracer, \
+    WorkCounters
 
 
-def _standard_run(matrix, tracer=None):
+def _standard_run(matrix, tracer=None, work=None):
     """The 'standard FLOC run' the 5% budget is measured against."""
     return floc(
         matrix, k=8, p=0.2, residue_target=2.0, gain_mode="fast",
         ordering="weighted", reseed_rounds=1, rng=0, tracer=tracer,
+        work=work,
     )
 
 
@@ -44,11 +46,17 @@ def _best_of(func, repeats=3):
     return best
 
 
-def _unit_cost(operation, reps=200_000):
-    started = time.perf_counter()
-    for __ in range(reps):
-        operation()
-    return (time.perf_counter() - started) / reps
+def _unit_cost(operation, reps=200_000, repeats=3):
+    """Best-of-N per-operation cost: a single timing loop is at the
+    mercy of one scheduler hiccup, which used to fail the 5% budget
+    spuriously; the min over repeats is the honest disabled-path cost."""
+    best = float("inf")
+    for __ in range(repeats):
+        started = time.perf_counter()
+        for __ in range(reps):
+            operation()
+        best = min(best, (time.perf_counter() - started) / reps)
+    return best
 
 
 def test_disabled_tracer_overhead_under_5_percent(report):
@@ -59,11 +67,15 @@ def test_disabled_tracer_overhead_under_5_percent(report):
 
     run_time = _best_of(lambda: _standard_run(matrix))
 
-    # Count the instrumentation sites the run actually executes.
+    # Count the instrumentation sites the run actually executes, and
+    # the deterministic work totals (machine-independent context the
+    # wall-clock numbers can be normalized against).
+    work = WorkCounters()
     traced = _standard_run(
         matrix,
         tracer=Tracer(sinks=[RingBufferSink(capacity=2_000_000)],
                       metrics=MetricsRegistry()),
+        work=work,
     )
     spans = traced.trace_summary["spans"]
     counters = traced.metrics["counters"]
@@ -101,6 +113,9 @@ def test_disabled_tracer_overhead_under_5_percent(report):
         f"emit() unit cost        : {emit_cost * 1e9:9.1f} ns (guarded sites)",
         f"reconstructed overhead  : {overhead * 1e3:9.3f} ms "
         f"({100 * fraction:.2f}% of the run)",
+        f"work (deterministic)    : {work.total()} units "
+        f"(toggle_evals={work.toggle_evals}, "
+        f"cells_scanned={work.cells_scanned}, sweeps={work.sweeps})",
     ]))
 
     assert fraction < 0.05, (

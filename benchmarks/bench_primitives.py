@@ -11,24 +11,16 @@ import numpy as np
 import pytest
 
 from repro.core.actions import evaluate_toggle
-from repro.core.floc import _State
 from repro.core.residue import mean_abs_residue
-from repro.core.seeding import bernoulli_seeds
+from repro.obs.perf.workloads import make_primitives_payload
 
 
 @pytest.fixture(scope="module")
 def payload():
-    rng = np.random.default_rng(0)
-    values = rng.normal(size=(600, 80))
-    values[rng.random((600, 80)) < 0.1] = np.nan
-    mask = ~np.isnan(values)
-    seeds = bernoulli_seeds(600, 80, 16, 0.15, rng)
-    state = _State(values, mask, seeds, fast=True)
-    row_member = np.zeros(600, dtype=bool)
-    row_member[:120] = True
-    col_member = np.zeros(80, dtype=bool)
-    col_member[:16] = True
-    return values, row_member, col_member, state
+    # One code path: the same payload backs the `primitives` suite of
+    # `repro bench run`, so these timings and the harness counters
+    # always describe identical work.
+    return make_primitives_payload()
 
 
 def test_mean_abs_residue_120x16(benchmark, payload):

@@ -28,10 +28,12 @@ from pathlib import Path
 
 from repro.core.mining import pool_mining_results, run_restart
 from repro.data.synthetic import generate_embedded
+from repro.obs import WorkCounters
 from repro.runtime import RunConfig, resume_run, run_supervised
 
 N_RESTARTS = 4
 WORKERS = 2
+N_REPEATS = 3
 
 
 def _workload():
@@ -45,10 +47,22 @@ def _workload():
     return dataset.matrix, config
 
 
-def _timed(func):
-    started = time.perf_counter()
-    out = func()
-    return out, time.perf_counter() - started
+def _timed(func, repeats=N_REPEATS):
+    """Best-of-N wall-clock timing.
+
+    A single run bakes one scheduler hiccup or cold page cache straight
+    into the overhead ratio, which used to fail the budget assertion
+    spuriously; the min over repeats is the honest cost.  The runs are
+    deterministic, so every repeat returns the same value.
+    """
+    best_out, best_s = None, float("inf")
+    for __ in range(repeats):
+        started = time.perf_counter()
+        out = func()
+        elapsed = time.perf_counter() - started
+        if elapsed < best_s:
+            best_out, best_s = out, elapsed
+    return best_out, best_s
 
 
 def test_supervision_overhead_and_parallel_payoff(report):
@@ -56,6 +70,8 @@ def test_supervision_overhead_and_parallel_payoff(report):
     scratch = Path(tempfile.mkdtemp(prefix="bench-runtime-"))
     try:
         # 1. The unsupervised floor: same restarts, no supervision.
+        # Each restart counts its work so the floor's deterministic
+        # totals are comparable against every supervised path below.
         def _plain_loop():
             runs = [
                 run_restart(
@@ -63,6 +79,7 @@ def test_supervision_overhead_and_parallel_payoff(report):
                     residue_target=config.residue_target,
                     root_seed=config.root_seed, k=config.k,
                     max_iterations=config.max_iterations,
+                    work=WorkCounters(),
                 )
                 for restart in range(N_RESTARTS)
             ]
@@ -73,19 +90,28 @@ def test_supervision_overhead_and_parallel_payoff(report):
 
         plain, plain_s = _timed(_plain_loop)
 
-        # 2. Supervised, serial: pure fault-tolerance overhead.
+        # 2. Supervised, serial: pure fault-tolerance overhead.  A run
+        # directory cannot be created twice, so each repeat gets a fresh
+        # one; any of them serves as the resume target afterwards.
+        serial_dirs = iter(
+            scratch / f"serial{i}" for i in range(N_REPEATS)
+        )
         serial, serial_s = _timed(lambda: run_supervised(
-            matrix, config, run_dir=scratch / "serial"))
+            matrix, config, run_dir=next(serial_dirs)))
 
         # 3. Supervised, parallel: the payoff.
         from dataclasses import replace
         par_config = replace(config, workers=WORKERS)
+        parallel_dirs = iter(
+            scratch / f"parallel{i}" for i in range(N_REPEATS)
+        )
         parallel, parallel_s = _timed(lambda: run_supervised(
-            matrix, par_config, run_dir=scratch / "parallel"))
+            matrix, par_config, run_dir=next(parallel_dirs)))
 
-        # 4. Resume with everything checkpointed: near-free.
+        # 4. Resume with everything checkpointed: near-free (and
+        # idempotent, so repeats can share the directory).
         resumed, resume_s = _timed(lambda: resume_run(
-            matrix, scratch / "serial"))
+            matrix, scratch / "serial0"))
 
         assert serial.ok and parallel.ok and resumed.ok
         assert resumed.executed == []
@@ -94,6 +120,15 @@ def test_supervision_overhead_and_parallel_payoff(report):
         assert shapes(serial.result) == shapes(plain)
         assert shapes(parallel.result) == shapes(plain)
         assert shapes(resumed.result) == shapes(plain)
+
+        # The deterministic work totals must agree across all four
+        # paths: supervised restarts always count, their counters ride
+        # the checkpoint records, and pooling sums per-restart objects
+        # -- so plain, serial, parallel and resumed see identical work.
+        assert plain.work is not None
+        for pooled in (serial.result, parallel.result, resumed.result):
+            assert pooled.work is not None
+            assert pooled.work.as_dict() == plain.work.as_dict()
 
         overhead = serial_s / plain_s - 1.0
         speedup = serial_s / parallel_s
@@ -108,6 +143,10 @@ def test_supervision_overhead_and_parallel_payoff(report):
             f"({speedup:.2f}x vs 1 worker)",
             f"resume (all done)       : {resume_s * 1e3:9.1f} ms",
             "clusterings             : identical across all four paths",
+            f"work (deterministic)    : {plain.work.total()} units "
+            f"(toggle_evals={plain.work.toggle_evals}, "
+            f"cells_scanned={plain.work.cells_scanned}) "
+            "-- identical across all four paths",
         ]))
 
         assert overhead < 0.60, (

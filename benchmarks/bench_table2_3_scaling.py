@@ -13,31 +13,19 @@ proportional to volume x k.
 
 from conftest import once
 
-from repro import Constraints
-from repro.eval.experiment import ExperimentConfig, run_trial
+from repro.eval.experiment import run_trial
 from repro.eval.reporting import format_table
+from repro.obs.perf.workloads import scaling_cell_config
 
 SIZES = [(100, 20), (250, 30), (500, 40), (750, 50)]
 KS = [6, 12, 18, 24]
 
 
 def run_cell(n_rows, n_cols, k, rng):
-    config = ExperimentConfig(
-        n_rows=n_rows,
-        n_cols=n_cols,
-        n_embedded=12,
-        embedded_mean_volume=0.004 * n_rows * n_cols,
-        embedded_aspect=1.5,
-        noise=3.0,
-        k=k,
-        p=(0.05 + 0.2) / 2,  # paper: 0.05*N rows, 0.2*M cols
-        ordering="weighted",
-        gain_mode="fast",
-        residue_target_factor=2.0,
-        constraints=Constraints(min_rows=3, min_cols=3),
-        max_iterations=40,
-    )
-    return run_trial(config, rng=rng)
+    # Config construction is shared with the `scaling` suite of
+    # `repro bench run` (repro.obs.perf.workloads.scaling_cell_config),
+    # so harness baselines and these tables measure the same cells.
+    return run_trial(scaling_cell_config(n_rows, n_cols, k), rng=rng)
 
 
 def run_sweep():

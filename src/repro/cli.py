@@ -30,7 +30,14 @@ import numpy as np
 from .core.matrix import DataMatrix
 from .core.mining import MiningResult, mine_delta_clusters
 from .core.predict import predict_entry
-from .obs import ConsoleProgressSink, JsonlSink, MetricsRegistry, Sink, Tracer
+from .obs import (
+    ConsoleProgressSink,
+    JsonlSink,
+    MetricsRegistry,
+    Sink,
+    Tracer,
+    WorkCounters,
+)
 from .obs.analysis import TraceAnalysis, analyze_trace, diff_traces
 from .obs.sinks import read_jsonl
 from .data.io import (
@@ -49,6 +56,7 @@ from .eval.reporting import format_histogram, format_table
 __all__ = [
     "build_parser",
     "cmd_analyze_trace",
+    "cmd_bench",
     "cmd_diff_traces",
     "cmd_evaluate",
     "cmd_generate",
@@ -205,6 +213,9 @@ def cmd_mine(args: argparse.Namespace) -> int:
         or args.run_dir is not None
         or args.resume
     )
+    # --metrics also turns on work counting so the perf.* counters show
+    # up in the metrics table (counting is inert: --out is unchanged).
+    work = WorkCounters() if args.metrics else None
     try:
         if supervised:
             return _cmd_mine_supervised(args, matrix, tracer)
@@ -221,6 +232,7 @@ def cmd_mine(args: argparse.Namespace) -> int:
             reseed_rounds=args.reseed_rounds,
             rng=args.seed,
             tracer=tracer,
+            work=work,
         )
     finally:
         if tracer is not None:
@@ -494,6 +506,92 @@ def cmd_diff_traces(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """``repro bench run/list/compare``: the perf harness front end.
+
+    ``run`` executes a suite of seed-pinned workloads from the registry
+    (:mod:`repro.obs.perf.workloads`), writing a schema-versioned
+    ``BENCH_<suite>.json`` document plus a content-addressed per-run
+    record under ``--results-dir``.  ``compare`` judges a new document
+    against a baseline: wall time against ``--tol-time`` (slowdowns
+    only), deterministic work counters against ``--tol-work`` (default
+    exact -- any drift is an algorithmic change) and exits 1 on
+    regression.
+    """
+    from .obs.perf import bench, workloads
+
+    if args.bench_command == "list":
+        rows = [
+            [w.name, ",".join(w.suites), w.description]
+            for w in workloads.iter_workloads(args.suite)
+        ]
+        if not rows:
+            print(f"no workloads registered for suite {args.suite!r}",
+                  file=sys.stderr)
+            return 2
+        print(format_table(
+            rows,
+            headers=["workload", "suites", "description"],
+            title=f"{len(rows)} registered workload(s) "
+                  f"(suites: {', '.join(workloads.suite_names())})",
+        ))
+        return 0
+
+    if args.bench_command == "run":
+        try:
+            document = bench.run_suite(args.suite, repeats=args.repeats)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        out = args.out or f"BENCH_{args.suite}.json"
+        bench.write_document(document, out)
+        record = bench.record_path(args.results_dir, document)
+        bench.write_document(document, record)
+        timing = document["timing"]
+        work = document["work"]
+        assert isinstance(timing, dict) and isinstance(work, dict)
+        rows = [
+            [
+                name,
+                f"{1e3 * timing[name]['best_time_s']:.2f}",
+                work[name]["toggle_evals"],
+                work[name]["cells_scanned"],
+                work[name]["sweeps"],
+            ]
+            for name in sorted(work)
+        ]
+        print(format_table(
+            rows,
+            headers=["workload", "best ms", "toggle_evals",
+                     "cells_scanned", "sweeps"],
+            title=f"suite {args.suite!r}: {len(rows)} workload(s), "
+                  f"best of {args.repeats}",
+        ))
+        print(f"document written to {out}")
+        print(f"per-run record written to {record}")
+        return 0
+
+    # compare
+    try:
+        old = bench.load_document(args.old)
+        new = bench.load_document(args.new)
+        comparison = bench.compare_documents(
+            old, new,
+            tol_time=bench.parse_tolerance(args.tol_time),
+            tol_work=bench.parse_tolerance(args.tol_work),
+        )
+    except (OSError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(comparison.render())
+    if not comparison.ok:
+        print(f"{len(comparison.regressions)} regression(s) detected",
+              file=sys.stderr)
+        return 1
+    print("no regressions")
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Run the DCL invariant linter (see :mod:`repro.devtools`)."""
     from .devtools.lint import main as lint_main
@@ -621,6 +719,49 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument("--tol", type=float, default=0.0,
                       help="residue |delta| below this is not divergence")
     diff.set_defaults(func=cmd_diff_traces)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run registered perf workloads, write/compare BENCH_*.json",
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_run = bench_sub.add_parser(
+        "run", help="run one suite and write its bench document"
+    )
+    bench_run.add_argument("--suite", default="smoke",
+                           help="workload suite to run (default: smoke)")
+    bench_run.add_argument("--repeats", type=int, default=3, metavar="N",
+                           help="repetitions per workload; wall time is "
+                                "best-of-N, counters must be identical "
+                                "(default 3)")
+    bench_run.add_argument("--out", default=None, metavar="PATH",
+                           help="document path (default BENCH_<suite>.json)")
+    bench_run.add_argument("--results-dir", default="benchmarks/results",
+                           metavar="DIR",
+                           help="directory for content-addressed per-run "
+                                "records (default benchmarks/results)")
+    bench_run.set_defaults(func=cmd_bench)
+    bench_list = bench_sub.add_parser(
+        "list", help="list registered workloads and suites"
+    )
+    bench_list.add_argument("--suite", default=None,
+                            help="restrict the listing to one suite")
+    bench_list.set_defaults(func=cmd_bench)
+    bench_compare = bench_sub.add_parser(
+        "compare",
+        help="compare two bench documents; exit 1 on regression",
+    )
+    bench_compare.add_argument("old", help="baseline document")
+    bench_compare.add_argument("new", help="candidate document")
+    bench_compare.add_argument("--tol-time", default="20%",
+                               help="relative slowdown budget, e.g. 20%% "
+                                    "or 0.2; 'none' skips timing checks "
+                                    "(default 20%%)")
+    bench_compare.add_argument("--tol-work", default="0%",
+                               help="relative work-counter drift budget "
+                                    "(default 0%% -- exact; counters are "
+                                    "deterministic)")
+    bench_compare.set_defaults(func=cmd_bench)
 
     lint = sub.add_parser(
         "lint", help="run the DCL invariant linter over a source tree"

@@ -53,6 +53,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..obs.events import ActionEvent, IterationEvent, SeedEvent
+from ..obs.perf.counters import WorkCounters
 from ..obs.tracer import NULL_TRACER, Tracer
 from .actions import BLOCKED_GAIN, ROW, evaluate_toggle, toggle_occupancy_ok
 from .cluster import DeltaCluster
@@ -110,6 +111,13 @@ class FlocResult:
         :meth:`~repro.obs.tracer.Tracer.summary` (event counts, span
         aggregates), or ``None`` for untraced runs.  Cumulative under a
         shared tracer, like ``metrics``.
+    work:
+        The :class:`~repro.obs.perf.counters.WorkCounters` the run
+        counted into, or ``None`` when counting was not requested.
+        Deterministic: bit-identical across runs at a fixed seed,
+        wall-clock free.  When one counter object is shared across runs
+        (e.g. a mining session accumulator), this is that shared,
+        cumulative object -- the same sharing semantics as ``metrics``.
     """
 
     clustering: Clustering
@@ -122,6 +130,7 @@ class FlocResult:
     n_actions: int = 0
     metrics: Optional[Dict[str, object]] = None
     trace_summary: Optional[Dict[str, object]] = None
+    work: Optional[WorkCounters] = None
 
     @property
     def average_residue(self) -> float:
@@ -153,9 +162,11 @@ class _State:
         mask: np.ndarray,
         seeds: Sequence[Seed],
         fast: bool,
+        work: Optional[WorkCounters] = None,
     ) -> None:
         self.values = values
         self.mask = mask
+        self.work = work
         self.filled = np.where(mask, values, 0.0)
         self.k = len(seeds)
         self.row_member = np.array([seed[0] for seed in seeds], dtype=bool)
@@ -185,6 +196,10 @@ class _State:
             sub_mask = ~np.isnan(sub)
             self.volumes[c] = int(sub_mask.sum())
             self.residues[c] = _masked_mean_abs_residue(sub, sub_mask)
+            w = self.work
+            if w is not None:
+                w.residue_evals += 1
+                w.cells_scanned += int(self.volumes[c])
         if self.fast:
             self.row_sums[c] = self.filled[:, cols].sum(axis=1)
             self.row_counts[c] = self.mask[:, cols].sum(axis=1)
@@ -193,6 +208,8 @@ class _State:
 
     def toggle(self, kind: str, index: int, c: int) -> None:
         """Flip one membership bit and update the fast caches incrementally."""
+        if self.work is not None:
+            self.work.toggles += 1
         if kind == ROW:
             joining = not self.row_member[c, index]
             self.row_member[c, index] = joining
@@ -209,6 +226,8 @@ class _State:
                 self.row_counts[c] += (1 if joining else -1) * self.mask[:, index]
 
     def snapshot(self) -> dict:
+        if self.work is not None:
+            self.work.snapshots += 1
         state = {
             "row_member": self.row_member.copy(),
             "col_member": self.col_member.copy(),
@@ -223,6 +242,8 @@ class _State:
         return state
 
     def restore(self, state: dict) -> None:
+        if self.work is not None:
+            self.work.restores += 1
         self.row_member[...] = state["row_member"]
         self.col_member[...] = state["col_member"]
         self.residues[...] = state["residues"]
@@ -235,9 +256,15 @@ class _State:
 
     # -- gain evaluation -----------------------------------------------
     def exact_candidate(self, kind: str, index: int, c: int) -> Tuple[float, int]:
-        return evaluate_toggle(
+        residue, volume = evaluate_toggle(
             self.values, self.row_member[c], self.col_member[c], kind, index
         )
+        w = self.work
+        if w is not None:
+            w.residue_evals += 1
+            w.toggle_evals += 1
+            w.cells_scanned += volume
+        return residue, volume
 
     def line_residue(self, kind: str, index: int, c: int) -> float:
         """Mean |residual| of one row/column against cluster ``c``'s bases.
@@ -347,6 +374,11 @@ class _State:
         new_residues = np.where(emptied, 0.0, new_residues)
         line_residues = np.where(untouched | emptied, 0.0, line_residues)
         widths = member.sum(axis=1)
+        w = self.work
+        if w is not None:
+            w.batch_evals += 1
+            w.toggle_evals += self.k
+            w.cells_scanned += int(line_counts.sum())
         return (
             new_residues,
             new_volumes.astype(np.int64),
@@ -361,6 +393,13 @@ class _State:
         """(new_residue, new_volume, line_residue) of one candidate toggle."""
         volume = int(self.volumes[c])
         residue = float(self.residues[c])
+        w = self.work
+        if w is not None:
+            w.toggle_evals += 1
+            w.cells_scanned += int(
+                self.row_counts[c, index] if kind == ROW
+                else self.col_counts[c, index]
+            )
         if kind == ROW:
             member_axis = self.col_member[c]
             line_values = self.values[index, member_axis]
@@ -491,6 +530,7 @@ def floc(
     max_iterations: int = 100,
     tol: float = 1e-12,
     tracer: Optional[Tracer] = None,
+    work: Optional[WorkCounters] = None,
 ) -> FlocResult:
     """Run FLOC and return the best clustering found.
 
@@ -571,6 +611,16 @@ def floc(
         numbers and never changes the result: the clustering, history and
         RNG stream are bit-identical with and without it.  ``None`` (the
         default) uses the shared disabled tracer at zero cost.
+    work:
+        Optional :class:`~repro.obs.perf.counters.WorkCounters` the run
+        accumulates its deterministic work counts into (residue
+        evaluations, cells scanned, toggle evaluations, ...).  Counting
+        obeys the same invariant as tracing -- it never draws random
+        numbers and never changes the result -- and its contribution is
+        additionally mirrored into the tracer's metrics registry as
+        ``perf.*`` counters when both are given.  Pass the same object
+        across runs to accumulate a session total.  ``None`` (the
+        default) disables counting entirely.
 
     Returns
     -------
@@ -592,6 +642,9 @@ def floc(
     active = constraints if constraints is not None else Constraints()
     if tracer is None:
         tracer = NULL_TRACER
+    # Snapshot so only THIS run's contribution is mirrored into perf.*
+    # metrics, even when one counter object is shared across runs.
+    work_before = work.as_dict() if work is not None else None
 
     started = tracer.clock()
     with tracer.span("phase1", k=k):
@@ -611,7 +664,9 @@ def floc(
             or ordering in ("weighted", "greedy")
             or residue_target is not None
         )
-        state = _State(matrix.values, matrix.mask, seed_list, fast=need_fast)
+        state = _State(
+            matrix.values, matrix.mask, seed_list, fast=need_fast, work=work
+        )
     initial_residue = float(state.residues.mean())
     if tracer.enabled:
         for c in range(state.k):
@@ -657,6 +712,16 @@ def floc(
         clusters.append(DeltaCluster(rows, cols))
     clustering = Clustering(matrix, clusters)
     elapsed = tracer.clock() - started
+    if (
+        work is not None
+        and work_before is not None
+        and tracer.enabled
+        and tracer.metrics is not None
+    ):
+        for name, value in work:
+            delta = value - work_before[name]
+            if delta:
+                tracer.inc(f"perf.{name}", delta)
     return FlocResult(
         clustering=clustering,
         n_iterations=n_iterations,
@@ -668,6 +733,7 @@ def floc(
         n_actions=n_actions,
         metrics=tracer.snapshot_metrics() if tracer.enabled else None,
         trace_summary=tracer.summary() if tracer.enabled else None,
+        work=work,
     )
 
 
@@ -702,6 +768,8 @@ def _phase2(
 
     for _ in range(max_iterations):
         n_iterations += 1
+        if state.work is not None:
+            state.work.sweeps += 1
         iteration_began = tracer.clock()
         iteration_start = state.snapshot()
         with tracer.span("ordering", scheme=ordering):

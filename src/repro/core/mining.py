@@ -44,6 +44,7 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
+from ..obs.perf.counters import WorkCounters
 from ..obs.tracer import NULL_TRACER, Tracer
 from .cluster import DeltaCluster
 from .clustering import Clustering
@@ -68,6 +69,9 @@ class MiningResult:
     ``metrics`` / ``trace_summary`` are the tracer's end-of-session
     aggregates over *all* restarts (``None`` when the session was not
     traced); per-run convergence detail lives on each entry of ``runs``.
+    ``work`` aggregates the restarts' deterministic
+    :class:`~repro.obs.perf.counters.WorkCounters` (``None`` when no
+    restart counted work).
     """
 
     clustering: Clustering
@@ -76,6 +80,7 @@ class MiningResult:
     n_deduplicated: int = 0
     metrics: Optional[dict] = None
     trace_summary: Optional[dict] = None
+    work: Optional[WorkCounters] = None
 
     @property
     def elapsed_seconds(self) -> float:
@@ -100,6 +105,7 @@ def mine_delta_clusters(
     gain_mode: str = "fast",
     rng: RngLike = None,
     tracer: Optional[Tracer] = None,
+    work: Optional[WorkCounters] = None,
 ) -> MiningResult:
     """Mine r-residue delta-clusters with restarts and deduplication.
 
@@ -128,6 +134,10 @@ def mine_delta_clusters(
         restart's events carry a ``restart`` context key so a single
         JSONL trace covers the whole session.  Tracing never changes the
         mining result.
+    work:
+        Optional :class:`~repro.obs.perf.counters.WorkCounters` shared by
+        every restart; like the tracer it never changes the result.  The
+        pooled :class:`MiningResult` carries the session aggregate.
 
     Returns
     -------
@@ -164,6 +174,7 @@ def mine_delta_clusters(
                     constraints=constraints,
                     rng=generator,
                     tracer=tracer,
+                    work=work,
                 )
         finally:
             if tracer.enabled:
@@ -216,6 +227,7 @@ def run_restart(
     gain_mode: str = "fast",
     max_iterations: int = 100,
     tracer: Optional[Tracer] = None,
+    work: Optional[WorkCounters] = None,
 ) -> FlocResult:
     """Execute one seed-addressable restart of a mining session.
 
@@ -246,6 +258,7 @@ def run_restart(
         rng=generator,
         max_iterations=max_iterations,
         tracer=tracer,
+        work=work,
     )
 
 
@@ -276,6 +289,19 @@ def pool_mining_results(
         raise ValueError(f"residue_target must be positive, got {residue_target}")
     if not 0.0 <= max_overlap <= 1.0:
         raise ValueError(f"max_overlap must be in [0, 1], got {max_overlap}")
+    # Aggregate the restarts' work counters, counting each distinct
+    # object once: per-restart counters sum, while a single accumulator
+    # shared by every restart (the mine_delta_clusters path) already IS
+    # the session total and must not be multiplied by len(runs).
+    work_total: Optional[WorkCounters] = None
+    seen_work: set = set()
+    for result in runs:
+        if result.work is None or id(result.work) in seen_work:
+            continue
+        seen_work.add(id(result.work))
+        if work_total is None:
+            work_total = WorkCounters()
+        work_total.merge(result.work)
     pooled: List[DeltaCluster] = []
     for result in runs:
         for cluster in result.clustering:
@@ -295,6 +321,7 @@ def pool_mining_results(
         runs=list(runs),
         n_pooled=n_pooled,
         n_deduplicated=n_pooled - len(kept),
+        work=work_total,
     )
 
 

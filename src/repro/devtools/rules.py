@@ -50,6 +50,13 @@ DCL007
     body is only ``pass``/``...``/``continue`` turn failures the
     supervisor must *observe* (retry, degrade, report) into silent
     corruption.  Catch the specific exception, or handle-and-record.
+DCL008
+    No wall-clock reads inside ``src/repro/obs/perf/``.  The perf
+    package's work counters must stay wall-clock-free so counted runs
+    are bit-identical across machines; bench timing goes through the
+    injectable clock seam (``repro.obs.perf.bench.DEFAULT_CLOCK``, an
+    attribute reference to :attr:`repro.obs.tracer.Tracer.clock`), and
+    per-run records are content-addressed rather than timestamped.
 """
 
 from __future__ import annotations
@@ -71,6 +78,7 @@ __all__ = [
     "DunderAllRule",
     "MutableGlobalWriteRule",
     "ExceptionSwallowRule",
+    "PerfWallClockRule",
 ]
 
 
@@ -831,6 +839,37 @@ class ExceptionSwallowRule(Rule):
             return "Exception"
 
 
+# ----------------------------------------------------------------------
+# DCL008 -- no wall-clock reads in obs/perf/
+# ----------------------------------------------------------------------
+class PerfWallClockRule(Rule):
+    """DCL008: forbid wall-clock reads in the perf package."""
+
+    code = "DCL008"
+    summary = (
+        "no wall-clock reads in src/repro/obs/perf/: work counters must "
+        "stay machine-independent; bench timing is injected via "
+        "bench.DEFAULT_CLOCK and records are content-addressed"
+    )
+
+    def applies(self, path: str) -> bool:
+        return "repro/obs/perf/" in _posix(path)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.dotted_name(node.func)
+            if dotted in _CLOCK_CALLS:
+                yield self._violation(
+                    ctx, node,
+                    f"{dotted}() reads the wall clock inside "
+                    "repro.obs.perf; inject a clock through "
+                    "bench.DEFAULT_CLOCK so counters and records stay "
+                    "deterministic",
+                )
+
+
 #: Registry, in code order.  ``lint.py`` instantiates from here; tests
 #: can construct individual rules directly.
 RULES: Tuple[Type[Rule], ...] = (
@@ -841,6 +880,7 @@ RULES: Tuple[Type[Rule], ...] = (
     DunderAllRule,
     MutableGlobalWriteRule,
     ExceptionSwallowRule,
+    PerfWallClockRule,
 )
 
 

@@ -19,6 +19,7 @@ from ..core.constraints import Constraints
 from ..core.floc import floc
 from ..core.rng import RngLike, resolve_rng
 from ..core.seeding import Seed, volume_seeds
+from ..obs.perf.counters import WorkCounters
 from ..obs.tracer import NULL_TRACER, Tracer
 from ..data.distributions import erlang_volumes
 from ..data.synthetic import SyntheticDataset, generate_embedded
@@ -73,7 +74,13 @@ class ExperimentConfig:
 
 @dataclass
 class TrialResult:
-    """Flat record of one run: the columns the paper's tables print."""
+    """Flat record of one run: the columns the paper's tables print.
+
+    ``work`` carries the run's deterministic
+    :class:`~repro.obs.perf.counters.WorkCounters` when the trial was
+    asked to count (``None`` otherwise); it is deliberately excluded
+    from :meth:`as_record`, which stays the paper-table schema.
+    """
 
     n_iterations: int
     elapsed_seconds: float
@@ -83,6 +90,7 @@ class TrialResult:
     total_volume: int
     n_actions: int
     converged: bool
+    work: Optional[WorkCounters] = None
 
     def as_record(self) -> Dict[str, float]:
         return {
@@ -129,12 +137,15 @@ def run_trial(
     config: ExperimentConfig,
     rng: RngLike = None,
     tracer: Optional[Tracer] = None,
+    work: Optional[WorkCounters] = None,
 ) -> TrialResult:
     """Generate one workload, run FLOC on it, measure everything.
 
     ``tracer`` is forwarded to :func:`repro.core.floc.floc`, so a traced
     trial additionally yields the full convergence event stream; the
-    returned record is unchanged by tracing.
+    returned record is unchanged by tracing.  ``work`` is likewise
+    forwarded -- a counted trial carries its counters on
+    :attr:`TrialResult.work` without changing any other column.
     """
     generator = resolve_rng(rng)
     if tracer is None:
@@ -165,6 +176,7 @@ def run_trial(
         rng=generator,
         max_iterations=config.max_iterations,
         tracer=tracer,
+        work=work,
     )
     elapsed = tracer.clock() - started
     scores = recall_precision(
@@ -179,6 +191,7 @@ def run_trial(
         total_volume=result.clustering.total_volume(),
         n_actions=result.n_actions,
         converged=result.converged,
+        work=result.work,
     )
 
 

@@ -17,7 +17,11 @@ requested:
   per-cluster / per-slot aggregates over recorded traces, plus
   twinned-run diffing (``repro analyze-trace`` / ``repro diff-traces``);
 * :mod:`repro.obs.profiling` -- the ``@profiled`` decorator on the core
-  residue/action primitives plus a wall/CPU report.
+  residue/action primitives plus a wall/CPU report;
+* :mod:`repro.obs.perf` -- the deterministic work-counter cost model
+  (:class:`~repro.obs.perf.counters.WorkCounters`), the environment
+  fingerprint, and the ``repro bench`` harness with machine-readable
+  baselines and regression comparison.
 
 See ``docs/OBSERVABILITY.md`` for the event schema and recipes.
 """
@@ -47,6 +51,12 @@ from .events import (
     event_fields,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .perf import (
+    WORK_COUNTER_FIELDS,
+    WorkCounters,
+    environment_fingerprint,
+    git_revision,
+)
 from .profiling import (
     disable_profiling,
     enable_profiling,
@@ -99,12 +109,16 @@ __all__ = [
     "TraceDiff",
     "TraceEvent",
     "Tracer",
+    "WORK_COUNTER_FIELDS",
+    "WorkCounters",
     "analyze_records",
     "analyze_trace",
     "diff_traces",
     "disable_profiling",
     "enable_profiling",
+    "environment_fingerprint",
     "event_fields",
+    "git_revision",
     "profile_report",
     "profile_snapshot",
     "profiled",

@@ -1,0 +1,67 @@
+"""Environment fingerprint: where a benchmark document came from.
+
+Timing numbers are meaningless without knowing what produced them.
+:func:`environment_fingerprint` captures the minimum provenance a
+``BENCH_*.json`` document needs to be interpreted later: interpreter
+and numpy versions, platform, CPU count, and the git commit the tree
+was at.  Everything is best-effort and side-effect free; a missing git
+binary or a non-repo working directory degrades to ``None`` rather
+than failing the bench run.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+import sys
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["environment_fingerprint", "git_revision"]
+
+
+def git_revision(cwd: Optional[str] = None) -> Optional[str]:
+    """The current ``HEAD`` commit hash, or ``None`` outside a repo.
+
+    A ``+dirty`` suffix marks uncommitted changes so a baseline recorded
+    from a dirty tree is distinguishable from its commit.
+    """
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10, cwd=cwd,
+        )
+        if sha.returncode != 0:
+            return None
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True, text=True, timeout=10, cwd=cwd,
+        )
+        revision = sha.stdout.strip()
+        if status.returncode == 0 and status.stdout.strip():
+            revision += "+dirty"
+        return revision
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+def environment_fingerprint(cwd: Optional[str] = None) -> Dict[str, object]:
+    """Provenance dict embedded in every bench document.
+
+    Keys are stable (schema ``repro.bench/1``); values describe the
+    machine and tree the numbers were measured on.  The fingerprint is
+    informational -- ``repro bench compare`` reports fingerprint
+    differences but never fails on them.
+    """
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": str(np.__version__),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "git": git_revision(cwd),
+        "executable": sys.executable,
+    }

@@ -184,13 +184,24 @@ class ConsoleProgressSink(Sink):
     Prints one line per iteration event, plus compact notices for seeds
     and restarts.  Action events are counted, not printed (a run can
     perform thousands).
+
+    Supervised-runtime events get the same treatment, so long
+    ``repro mine --workers N --progress`` sessions narrate their
+    wave/task/retry lifecycle instead of going silent: each wave-context
+    change prints a ``-- wave N --`` banner, ``task`` events print per
+    status (dispatch, completion with elapsed time, failure with the
+    error kind, resume skips), and ``retry`` / ``fault`` events print
+    the backoff schedule and injected-fault attribution.
     """
 
     def __init__(self, stream: Optional[IO[str]] = None) -> None:
         self._stream = stream if stream is not None else sys.stderr
         self._n_actions = 0
         self._n_seeds = 0
+        self._n_tasks_done = 0
+        self._n_retries = 0
         self._last_restart: Optional[object] = None
+        self._last_wave: Optional[object] = None
 
     def _print(self, text: str) -> None:
         self._stream.write(text + "\n")
@@ -198,8 +209,16 @@ class ConsoleProgressSink(Sink):
 
     def write(self, record: Dict[str, object]) -> None:
         kind = record.get("type")
+        wave = record.get("wave")
+        if wave is not None and wave != self._last_wave:
+            self._last_wave = wave
+            self._print(f"-- wave {wave} --")
         restart = record.get("restart")
-        if restart is not None and restart != self._last_restart:
+        if (
+            kind not in ("task", "retry", "fault")
+            and restart is not None
+            and restart != self._last_restart
+        ):
             self._last_restart = restart
             self._print(f"-- restart {restart} --")
         if kind == "action":
@@ -221,11 +240,60 @@ class ConsoleProgressSink(Sink):
                 f"actions {record.get('n_actions')}  "
                 f"({record.get('elapsed_s', 0.0):.3f}s)"
             )
+        elif kind == "task":
+            self._write_task(record)
+        elif kind == "retry":
+            self._n_retries += 1
+            self._print(
+                f"  retry restart {record.get('restart')} "
+                f"(attempt {record.get('attempt')} failed: "
+                f"{record.get('error')}; backoff "
+                f"{record.get('backoff_s', 0.0):.2f}s, "
+                f"{record.get('remaining')} retr(ies) left)"
+            )
+        elif kind == "fault":
+            self._print(
+                f"  fault injected at {record.get('site')} "
+                f"[{record.get('kind')}] restart {record.get('restart')} "
+                f"attempt {record.get('attempt')}"
+            )
+
+    def _write_task(self, record: Dict[str, object]) -> None:
+        restart = record.get("restart")
+        status = record.get("status")
+        attempt = record.get("attempt")
+        if status == "dispatched":
+            self._print(f"  task restart {restart} dispatched "
+                        f"(attempt {attempt})")
+        elif status == "completed":
+            self._n_tasks_done += 1
+            elapsed = record.get("elapsed_s")
+            suffix = (
+                f" in {float(elapsed):.2f}s"
+                if isinstance(elapsed, (int, float))
+                and not isinstance(elapsed, bool) else ""
+            )
+            self._print(f"  task restart {restart} completed{suffix}")
+        elif status == "failed":
+            self._print(
+                f"  task restart {restart} FAILED "
+                f"(attempt {attempt}: {record.get('error')})"
+            )
+        elif status == "skipped":
+            self._print(
+                f"  task restart {restart} skipped (already checkpointed)"
+            )
+        else:  # pragma: no cover - future statuses degrade gracefully
+            self._print(f"  task restart {restart} {status}")
 
     def close(self) -> None:
-        self._print(
-            f"trace: {self._n_seeds} seeds, {self._n_actions} actions total"
-        )
+        summary = f"trace: {self._n_seeds} seeds, {self._n_actions} actions"
+        if self._n_tasks_done or self._n_retries:
+            summary += (
+                f", {self._n_tasks_done} task(s) completed, "
+                f"{self._n_retries} retr(ies)"
+            )
+        self._print(summary + " total")
 
 
 class DatagramTransport(Protocol):

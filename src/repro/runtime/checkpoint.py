@@ -35,6 +35,7 @@ from ..core.clustering import Clustering
 from ..core.floc import FlocResult
 from ..core.matrix import DataMatrix
 from ..data.io import write_json_atomic
+from ..obs.perf.counters import WorkCounters
 from .config import RunConfig
 
 __all__ = [
@@ -95,6 +96,10 @@ def result_to_record(restart: int, result: FlocResult) -> Dict[str, object]:
         "converged": bool(result.converged),
         "n_actions": int(result.n_actions),
     }
+    if result.work is not None:
+        # Work counters are deterministic restart output (unlike the
+        # tracer aggregates), so they round-trip and feed the digest.
+        payload["work"] = result.work.as_dict()
     payload["digest"] = record_digest(payload)
     return payload
 
@@ -108,6 +113,7 @@ def record_to_result(
         DeltaCluster(rows, cols)
         for rows, cols in record["clusters"]  # type: ignore[union-attr]
     ]
+    work = record.get("work")
     return FlocResult(
         clustering=Clustering(matrix, clusters),
         n_iterations=int(record["n_iterations"]),  # type: ignore[arg-type]
@@ -117,6 +123,7 @@ def record_to_result(
         elapsed_seconds=float(record["elapsed_seconds"]),  # type: ignore[arg-type]
         converged=bool(record["converged"]),
         n_actions=int(record["n_actions"]),  # type: ignore[arg-type]
+        work=WorkCounters(**work) if isinstance(work, dict) else None,
     )
 
 

@@ -349,45 +349,57 @@ def run_supervised(
     )
 
     pending = sorted(attempts)
+    wave_index = 0
     while pending:
         wave = [_Attempt(restart=i, attempt=attempts[i]) for i in pending]
-        outcomes = _run_wave(matrix, config, run_dir, wave, tracer)
-        pending = []
-        wave_backoff = 0.0
-        for restart in sorted(outcomes):
-            error = outcomes[restart]
-            attempt = attempts[restart]
-            if error is None:
-                # Durability check: re-read the record the worker claims
-                # to have persisted; a corrupt record demotes the task
-                # back to failed.
-                try:
-                    record = store.load_record(restart)
-                except CheckpointError as exc:
-                    error = f"corrupt: {exc}"
+        # Every task/retry/fault event of this wave carries a `wave`
+        # context key, so live sinks (ConsoleProgressSink) and recorded
+        # traces can show wave-by-wave progress of long sessions.
+        if tracer.enabled:
+            tracer.push_context(wave=wave_index)
+        try:
+            tracer.inc("runtime.waves")
+            outcomes = _run_wave(matrix, config, run_dir, wave, tracer)
+            pending = []
+            wave_backoff = 0.0
+            for restart in sorted(outcomes):
+                error = outcomes[restart]
+                attempt = attempts[restart]
+                if error is None:
+                    # Durability check: re-read the record the worker
+                    # claims to have persisted; a corrupt record demotes
+                    # the task back to failed.
+                    try:
+                        record = store.load_record(restart)
+                    except CheckpointError as exc:
+                        error = f"corrupt: {exc}"
+                    else:
+                        store.mark_done(restart, str(record["digest"]))
+                        completed.add(restart)
+                        tracer.inc("runtime.tasks.completed")
+                        continue
+                kind = error.split(":", 1)[0]
+                tracer.inc("runtime.tasks.failed")
+                tracer.inc(f"runtime.failures.{kind}")
+                _emit_plan_fault(tracer, restart, attempt)
+                if attempt < config.max_retries:
+                    attempts[restart] = attempt + 1
+                    delay = _backoff_delay(backoff_rng, backoff_base, attempt)
+                    wave_backoff = max(wave_backoff, delay)
+                    tracer.emit(RetryEvent(
+                        restart=restart, attempt=attempt, backoff_s=delay,
+                        remaining=config.max_retries - attempt - 1,
+                        error=kind))
+                    tracer.inc("runtime.retries")
+                    pending.append(restart)
                 else:
-                    store.mark_done(restart, str(record["digest"]))
-                    completed.add(restart)
-                    tracer.inc("runtime.tasks.completed")
-                    continue
-            kind = error.split(":", 1)[0]
-            tracer.inc("runtime.tasks.failed")
-            tracer.inc(f"runtime.failures.{kind}")
-            _emit_plan_fault(tracer, restart, attempt)
-            if attempt < config.max_retries:
-                attempts[restart] = attempt + 1
-                delay = _backoff_delay(backoff_rng, backoff_base, attempt)
-                wave_backoff = max(wave_backoff, delay)
-                tracer.emit(RetryEvent(
-                    restart=restart, attempt=attempt, backoff_s=delay,
-                    remaining=config.max_retries - attempt - 1,
-                    error=kind))
-                tracer.inc("runtime.retries")
-                pending.append(restart)
-            else:
-                failures.append(TaskFailure(
-                    restart=restart, attempt=attempt, kind=kind,
-                    error=error))
+                    failures.append(TaskFailure(
+                        restart=restart, attempt=attempt, kind=kind,
+                        error=error))
+        finally:
+            if tracer.enabled:
+                tracer.pop_context()
+        wave_index += 1
         if pending and wave_backoff > 0:
             sleep(wave_backoff)
         pending.sort()

@@ -26,6 +26,7 @@ from typing import Dict, Optional, Union
 from ..core.matrix import DataMatrix
 from ..core.mining import run_restart
 from ..data.io import write_json_atomic
+from ..obs.perf.counters import WorkCounters
 from .checkpoint import record_digest, result_to_record
 from .config import RunConfig
 from .faults import FaultSpec, inject
@@ -84,6 +85,10 @@ def execute_restart_task(payload: TaskPayload) -> Dict[str, object]:
 
     inject("worker_start", restart, attempt)
 
+    # Supervised restarts always count work: counting never changes the
+    # result, and the counters ride the checkpoint record so resumed and
+    # uninterrupted sessions report identical totals for free.
+    work = WorkCounters()
     result = run_restart(
         matrix,
         restart,
@@ -98,6 +103,7 @@ def execute_restart_task(payload: TaskPayload) -> Dict[str, object]:
         ordering=config.ordering,
         gain_mode=config.gain_mode,
         max_iterations=config.max_iterations,
+        work=work,
     )
 
     record = result_to_record(restart, result)

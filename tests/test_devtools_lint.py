@@ -438,6 +438,54 @@ class TestExceptionSwallow:
 
 
 # ----------------------------------------------------------------------
+# DCL008 -- no wall-clock reads in obs/perf/
+# ----------------------------------------------------------------------
+PERF_PATH = "src/repro/obs/perf/fixture.py"
+
+
+class TestPerfWallClock:
+    @pytest.mark.parametrize(
+        "call",
+        ["time.time()", "time.perf_counter()", "time.monotonic()"],
+    )
+    def test_time_calls_fire_in_perf(self, call):
+        src = f"import time\n__all__ = []\nt = {call}\n"
+        assert codes(lint_source(src, PERF_PATH)) == ["DCL008"]
+
+    def test_from_import_perf_counter_fires(self):
+        src = "from time import perf_counter\n__all__ = []\nt = perf_counter()\n"
+        assert codes(lint_source(src, PERF_PATH)) == ["DCL008"]
+
+    def test_datetime_now_fires_in_perf(self):
+        src = (
+            "from datetime import datetime\n__all__ = []\n"
+            "t = datetime.now()\n"
+        )
+        assert codes(lint_source(src, PERF_PATH)) == ["DCL008"]
+
+    def test_clock_attribute_reference_ok(self):
+        # The seam itself: referencing Tracer.clock (no call) is the
+        # sanctioned way to obtain a default clock.
+        src = (
+            "from repro.obs.tracer import Tracer\n"
+            "__all__ = ['DEFAULT_CLOCK']\n"
+            "DEFAULT_CLOCK = Tracer.clock\n"
+        )
+        assert lint_source(src, PERF_PATH) == []
+
+    def test_injected_clock_call_ok(self):
+        src = (
+            "__all__ = ['timed']\n"
+            "def timed(clock):\n    return clock()\n"
+        )
+        assert lint_source(src, PERF_PATH) == []
+
+    def test_outside_perf_exempt(self):
+        src = "import time\n__all__ = []\nt = time.perf_counter()\n"
+        assert lint_source(src, OTHER_PATH) == []
+
+
+# ----------------------------------------------------------------------
 # Suppression comments
 # ----------------------------------------------------------------------
 class TestSuppression:
@@ -490,7 +538,7 @@ class TestEngine:
     def test_registry_is_complete(self):
         assert [cls.code for cls in RULES] == [
             "DCL001", "DCL002", "DCL003", "DCL004", "DCL005", "DCL006",
-            "DCL007",
+            "DCL007", "DCL008",
         ]
 
     def test_collect_files_skips_pycache(self, tmp_path):

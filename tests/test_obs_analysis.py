@@ -322,3 +322,91 @@ class TestDiffTraces:
         first = json.dumps(diff_traces(a, b).to_dict(), sort_keys=True)
         second = json.dumps(diff_traces(a, b).to_dict(), sort_keys=True)
         assert first == second
+
+
+class TestRuntimeTraces:
+    """Supervised-runtime traces (task/retry/fault events) analyze
+    cleanly: the event kinds are known to the analyzer, their counts
+    match the raw stream, and ``repro analyze-trace`` accepts the file.
+    """
+
+    @pytest.fixture
+    def runtime_trace(self, tmp_path, monkeypatch):
+        from repro.runtime import (
+            FAULT_PLAN_ENV,
+            FaultPlan,
+            FaultSpec,
+            RunConfig,
+            run_supervised,
+        )
+
+        rng = np.random.default_rng(3)
+        values = rng.normal(size=(16, 8))
+        values[:7, :5] += 3.5
+        matrix = DataMatrix(values)
+        config = RunConfig(
+            residue_target=1.5, n_restarts=3, root_seed=5, k=2,
+            max_iterations=4, min_volume=9, workers=1, max_retries=1,
+        )
+        # One recoverable fault so the trace carries a retry and a
+        # fault event alongside the task lifecycle.
+        plan = FaultPlan((
+            FaultSpec(site="worker_start", kind="error", restart=0),
+        ))
+        monkeypatch.setenv(FAULT_PLAN_ENV, plan.to_json())
+        path = tmp_path / "runtime-trace.jsonl"
+        sink = JsonlSink(path)
+        tracer = Tracer(sinks=[sink])
+        outcome = run_supervised(
+            matrix, config, run_dir=tmp_path / "run",
+            tracer=tracer, sleep=lambda _s: None,
+        )
+        tracer.close()
+        assert outcome.ok
+        return path
+
+    def test_runtime_events_are_known_and_counted(self, runtime_trace):
+        analysis = analyze_trace(runtime_trace)
+        assert analysis.warnings == []
+        # Task lifecycle: every restart dispatches and completes, the
+        # faulted restart adds a failed attempt.
+        assert analysis.event_counts.get("task", 0) >= 2 * 3 + 1
+        assert analysis.event_counts.get("retry", 0) == 1
+        assert analysis.event_counts.get("fault", 0) == 1
+
+    def test_counts_match_raw_stream(self, runtime_trace):
+        from repro.obs.sinks import read_jsonl
+
+        records = list(read_jsonl(runtime_trace))
+        analysis = analyze_trace(runtime_trace)
+        assert analysis.n_records == len(records)
+        for kind in ("task", "retry", "fault"):
+            expected = sum(1 for r in records if r.get("type") == kind)
+            assert analysis.event_counts.get(kind, 0) == expected
+        statuses = [
+            r["status"] for r in records if r.get("type") == "task"
+        ]
+        assert statuses.count("dispatched") == statuses.count(
+            "completed"
+        ) + statuses.count("failed")
+
+    def test_cli_analyze_trace_accepts_runtime_trace(
+            self, runtime_trace, capsys):
+        from repro.cli import main
+
+        assert main(["analyze-trace", str(runtime_trace), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["warnings"] == []
+        assert payload["event_counts"]["task"] >= 2 * 3 + 1
+        assert payload["event_counts"]["retry"] == 1
+        assert payload["event_counts"]["fault"] == 1
+
+    def test_analysis_of_runtime_trace_is_deterministic(
+            self, runtime_trace):
+        first = json.dumps(
+            analyze_trace(runtime_trace).to_dict(), sort_keys=True
+        )
+        second = json.dumps(
+            analyze_trace(runtime_trace).to_dict(), sort_keys=True
+        )
+        assert first == second

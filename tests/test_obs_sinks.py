@@ -246,6 +246,97 @@ class TestConsoleProgress:
         assert "50 actions total" in stream.getvalue()
 
 
+class TestConsoleProgressRuntime:
+    """Supervised-runtime narration: waves, task lifecycle, retries."""
+
+    def test_wave_banner_printed_on_context_change(self):
+        stream = io.StringIO()
+        sink = ConsoleProgressSink(stream=stream)
+        sink.write({"type": "task", "status": "dispatched", "restart": 0,
+                    "attempt": 0, "wave": 0})
+        sink.write({"type": "task", "status": "completed", "restart": 0,
+                    "attempt": 0, "elapsed_s": 1.25, "wave": 0})
+        sink.write({"type": "task", "status": "dispatched", "restart": 1,
+                    "attempt": 1, "wave": 1})
+        output = stream.getvalue()
+        assert output.count("-- wave 0 --") == 1
+        assert output.count("-- wave 1 --") == 1
+
+    def test_task_lifecycle_lines(self):
+        stream = io.StringIO()
+        sink = ConsoleProgressSink(stream=stream)
+        sink.write({"type": "task", "status": "dispatched", "restart": 3,
+                    "attempt": 0})
+        sink.write({"type": "task", "status": "completed", "restart": 3,
+                    "attempt": 0, "elapsed_s": 0.5})
+        sink.write({"type": "task", "status": "failed", "restart": 4,
+                    "attempt": 0, "error": "WorkerCrash"})
+        sink.write({"type": "task", "status": "skipped", "restart": 5,
+                    "attempt": 0})
+        output = stream.getvalue()
+        assert "task restart 3 dispatched (attempt 0)" in output
+        assert "task restart 3 completed in 0.50s" in output
+        assert "task restart 4 FAILED (attempt 0: WorkerCrash)" in output
+        assert "task restart 5 skipped (already checkpointed)" in output
+
+    def test_retry_and_fault_lines(self):
+        stream = io.StringIO()
+        sink = ConsoleProgressSink(stream=stream)
+        sink.write({"type": "retry", "restart": 2, "attempt": 0,
+                    "error": "TaskTimeout", "backoff_s": 0.125,
+                    "remaining": 2})
+        sink.write({"type": "fault", "site": "worker_start",
+                    "kind": "kill", "restart": 2, "attempt": 1})
+        output = stream.getvalue()
+        assert ("retry restart 2 (attempt 0 failed: TaskTimeout; "
+                "backoff 0.12s, 2 retr(ies) left)") in output
+        assert ("fault injected at worker_start [kill] restart 2 "
+                "attempt 1") in output
+
+    def test_runtime_events_do_not_trigger_restart_banner(self):
+        stream = io.StringIO()
+        sink = ConsoleProgressSink(stream=stream)
+        sink.write({"type": "task", "status": "dispatched", "restart": 7,
+                    "attempt": 0})
+        assert "-- restart 7 --" not in stream.getvalue()
+
+    def test_close_summarizes_tasks_and_retries(self):
+        stream = io.StringIO()
+        sink = ConsoleProgressSink(stream=stream)
+        sink.write({"type": "task", "status": "completed", "restart": 0,
+                    "attempt": 0, "elapsed_s": 0.1})
+        sink.write({"type": "retry", "restart": 1, "attempt": 0,
+                    "error": "E", "backoff_s": 0.1, "remaining": 1})
+        sink.close()
+        assert ("0 seeds, 0 actions, 1 task(s) completed, "
+                "1 retr(ies) total") in stream.getvalue()
+
+    def test_supervised_run_narrates_end_to_end(self, tmp_path):
+        from repro.core.matrix import DataMatrix
+        from repro.obs import Tracer
+        from repro.runtime import RunConfig, run_supervised
+
+        rng = np.random.default_rng(13)
+        values = rng.normal(size=(16, 8))
+        values[:7, :5] += 3.5
+        stream = io.StringIO()
+        tracer = Tracer(sinks=[ConsoleProgressSink(stream=stream)])
+        outcome = run_supervised(
+            DataMatrix(values),
+            RunConfig(residue_target=1.5, n_restarts=2, root_seed=5,
+                      k=2, max_iterations=3, min_volume=9, workers=1,
+                      max_retries=0),
+            run_dir=tmp_path / "run", tracer=tracer,
+        )
+        tracer.close()
+        assert outcome.ok
+        output = stream.getvalue()
+        assert "-- wave 0 --" in output
+        assert "task restart 0 dispatched" in output
+        assert "task restart 1 completed" in output
+        assert "2 task(s) completed" in output
+
+
 class TestStatsd:
     def _sink(self, **kwargs):
         transport = FakeTransport()
