@@ -11,6 +11,7 @@ import numpy as np
 import pytest
 
 from repro.core.actions import evaluate_toggle
+from repro.core.gain_engine import _BLOCK, ResidueBackend
 from repro.core.residue import mean_abs_residue
 from repro.obs.perf.workloads import make_primitives_payload
 
@@ -58,3 +59,35 @@ def test_refresh_cluster(benchmark, payload):
     __, __, __, state = payload
     benchmark(state.refresh_cluster, 0)
     assert state.volumes[0] >= 0
+
+
+def test_exact_lane_full(benchmark, payload):
+    __, __, __, state = payload
+    backend = ResidueBackend()
+    lane = benchmark(backend.exact_lane, state, "row", 0)
+    assert lane.new_residues.shape == (600,)
+    assert np.isfinite(lane.new_residues).all()
+
+
+def test_exact_lane_block(benchmark, payload):
+    __, __, __, state = payload
+    backend = ResidueBackend()
+    ctx = backend.exact_context(state, "row", 0)
+    sel = np.arange(_BLOCK, dtype=np.intp)
+    lane = benchmark(backend.exact_lane, state, "row", 0, sel=sel, ctx=ctx)
+    assert lane.new_residues.shape == (_BLOCK,)
+    assert np.isfinite(lane.new_residues).all()
+
+
+def test_exact_context_build(benchmark, payload):
+    __, __, __, state = payload
+    backend = ResidueBackend()
+    ctx = benchmark(backend.exact_context, state, "row", 0)
+    assert ctx.m > 0
+
+
+def test_estimate_lane(benchmark, payload):
+    __, __, __, state = payload
+    backend = ResidueBackend()
+    lane = benchmark(backend.estimate_lane, state, "row", 0)
+    assert lane.new_residues.shape == (600,)

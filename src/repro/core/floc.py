@@ -26,16 +26,24 @@ paper's perform-even-negative rule; ``reseed_rounds`` enables restarts.
 Two gain-evaluation modes are provided:
 
 ``exact`` (default)
-    Re-evaluate the candidate submatrix residue from scratch per action
-    candidate -- the O(n*m) computation the paper describes in Section 4.1.
+    The true after-toggle residue of every candidate -- the quantity the
+    paper recomputes from scratch per action in Section 4.1.  It is now
+    produced by the batched gain engine
+    (:mod:`repro.core.gain_engine`), which derives all candidates of a
+    (kind, cluster) *lane* at once from the incremental sufficient
+    statistics, so no candidate submatrix is ever rescanned.
 ``fast``
     An O(m) (resp. O(n)) approximation that freezes the cluster's bases
-    while estimating the residue contribution of the toggled row/column,
-    evaluated for all k clusters in one vectorized pass
-    (:meth:`_State.candidate_parts_batch`); the acted cluster's exact
-    residue is recomputed once per *performed* action so the objective is
-    always tracked exactly.  This trades a little per-move greediness
-    accuracy for a large speedup and is benchmarked as an ablation.
+    while estimating the residue contribution of the toggled row/column;
+    the acted cluster's exact residue is recomputed once per *performed*
+    action so the objective is always tracked exactly.  This trades a
+    little per-move greediness accuracy for an additional speedup and is
+    benchmarked as an ablation.
+
+Both modes consult :class:`~repro.core.gain_engine.GainEngine`, which
+caches lane scores per cluster and invalidates them through the state's
+per-cluster modification stamps -- see that module's docstring for the
+design and DESIGN.md for the derivation.
 
 The run is observable end to end: pass a :class:`repro.obs.Tracer` to
 stream per-seed / per-action / per-iteration events into sinks (JSONL,
@@ -55,7 +63,8 @@ import numpy as np
 from ..obs.events import ActionEvent, IterationEvent, SeedEvent
 from ..obs.perf.counters import WorkCounters
 from ..obs.tracer import NULL_TRACER, Tracer
-from .actions import BLOCKED_GAIN, ROW, evaluate_toggle, toggle_occupancy_ok
+from . import gain_engine
+from .actions import ROW, evaluate_toggle
 from .cluster import DeltaCluster
 from .clustering import Clustering
 from .constraints import Constraints
@@ -154,6 +163,19 @@ class _State:
 
     Row toggles leave ``row_sums`` invariant and update ``col_sums`` in
     O(N); column toggles do the reverse in O(M).
+
+    Two kinds of derived state ride along:
+
+    * float views of the integer statistics (``volumes_f``,
+      ``row_counts_f``, ``col_counts_f``) so the hot paths never repeat
+      an ``astype`` conversion, and transposed contiguous copies of the
+      matrix (``filled_T``, ``mask_T``) so column lanes reduce over
+      contiguous memory;
+    * ``stamp`` -- a per-cluster modification counter, bumped by every
+      operation that can change a cluster's statistics
+      (:meth:`toggle`, :meth:`refresh_cluster`, :meth:`restore`).  The
+      gain engine keys its lane caches on it; it never repeats a value,
+      so a cached lane is valid iff its recorded stamp still matches.
     """
 
     def __init__(
@@ -168,18 +190,27 @@ class _State:
         self.mask = mask
         self.work = work
         self.filled = np.where(mask, values, 0.0)
+        self.filled_T = np.ascontiguousarray(self.filled.T)
+        self.mask_T = np.ascontiguousarray(mask.T)
         self.k = len(seeds)
         self.row_member = np.array([seed[0] for seed in seeds], dtype=bool)
         self.col_member = np.array([seed[1] for seed in seeds], dtype=bool)
         self.residues = np.zeros(self.k)
         self.volumes = np.zeros(self.k, dtype=np.int64)
+        self.volumes_f = np.zeros(self.k)
+        self.stamp = np.zeros(self.k, dtype=np.int64)
+        #: Global modification counter (sum-free companion of ``stamp``):
+        #: lets the gain engine answer "did anything change?" in O(1).
+        self.rev = 0
         self.fast = fast
         if fast:
             n_rows, n_cols = values.shape
             self.row_sums = np.zeros((self.k, n_rows))
             self.row_counts = np.zeros((self.k, n_rows), dtype=np.int64)
+            self.row_counts_f = np.zeros((self.k, n_rows))
             self.col_sums = np.zeros((self.k, n_cols))
             self.col_counts = np.zeros((self.k, n_cols), dtype=np.int64)
+            self.col_counts_f = np.zeros((self.k, n_cols))
         for c in range(self.k):
             self.refresh_cluster(c)
 
@@ -205,6 +236,11 @@ class _State:
             self.row_counts[c] = self.mask[:, cols].sum(axis=1)
             self.col_sums[c] = self.filled[rows, :].sum(axis=0)
             self.col_counts[c] = self.mask[rows, :].sum(axis=0)
+            self.row_counts_f[c] = self.row_counts[c]
+            self.col_counts_f[c] = self.col_counts[c]
+        self.volumes_f[c] = self.volumes[c]
+        self.stamp[c] += 1
+        self.rev += 1
 
     def toggle(self, kind: str, index: int, c: int) -> None:
         """Flip one membership bit and update the fast caches incrementally."""
@@ -217,6 +253,7 @@ class _State:
                 sign = 1.0 if joining else -1.0
                 self.col_sums[c] += sign * self.filled[index]
                 self.col_counts[c] += (1 if joining else -1) * self.mask[index]
+                self.col_counts_f[c] += sign * self.mask[index]
         else:
             joining = not self.col_member[c, index]
             self.col_member[c, index] = joining
@@ -224,6 +261,9 @@ class _State:
                 sign = 1.0 if joining else -1.0
                 self.row_sums[c] += sign * self.filled[:, index]
                 self.row_counts[c] += (1 if joining else -1) * self.mask[:, index]
+                self.row_counts_f[c] += sign * self.mask[:, index]
+        self.stamp[c] += 1
+        self.rev += 1
 
     def snapshot(self) -> dict:
         if self.work is not None:
@@ -253,6 +293,13 @@ class _State:
             self.row_counts[...] = state["row_counts"]
             self.col_sums[...] = state["col_sums"]
             self.col_counts[...] = state["col_counts"]
+            self.row_counts_f[...] = self.row_counts
+            self.col_counts_f[...] = self.col_counts
+        self.volumes_f[...] = self.volumes
+        # Every cluster may have changed; stamps only ever move forward
+        # so no lane cached before the restore can masquerade as fresh.
+        self.stamp += 1
+        self.rev += 1
 
     # -- gain evaluation -----------------------------------------------
     def exact_candidate(self, kind: str, index: int, c: int) -> Tuple[float, int]:
@@ -311,6 +358,7 @@ class _State:
             base_counts = self.col_counts
             line_sums = self.row_sums[:, index]          # (k,)
             line_counts = self.row_counts[:, index]
+            line_counts_f = self.row_counts_f[:, index]
             removing = self.row_member[:, index]
         else:
             member = self.row_member                     # (k, M)
@@ -320,19 +368,21 @@ class _State:
             base_counts = self.row_counts
             line_sums = self.col_sums[:, index]
             line_counts = self.col_counts[:, index]
+            line_counts_f = self.col_counts_f[:, index]
             removing = self.col_member[:, index]
 
-        volumes = self.volumes.astype(np.float64)
+        # Cached float views: no astype conversions on the hot path.
+        volumes = self.volumes_f
         residues = self.residues
-        line_counts_f = line_counts.astype(np.float64)
 
-        with np.errstate(invalid="ignore", divide="ignore"):
-            line_base = line_sums / np.maximum(line_counts_f, 1.0)
-            cross_base = np.where(
-                base_counts > 0,
-                base_sums / np.maximum(base_counts, 1),
-                0.0,
-            )
+        # All denominators are >= 1 by construction, so no errstate
+        # context is needed anywhere on this path.
+        line_base = line_sums / np.maximum(line_counts_f, 1.0)
+        cross_base = np.where(
+            base_counts > 0,
+            base_sums / np.maximum(base_counts, 1),
+            0.0,
+        )
         totals = (base_sums * member).sum(axis=1)
         counts = (base_counts * member).sum(axis=1)
         grand = np.where(counts > 0, totals / np.maximum(counts, 1), 0.0)
@@ -352,15 +402,14 @@ class _State:
 
         add_volumes = volumes + line_counts_f
         remove_volumes = volumes - line_counts_f
-        with np.errstate(invalid="ignore", divide="ignore"):
-            add_residues = (
-                volumes * residues + line_counts_f * line_residues
-            ) / np.maximum(add_volumes, 1.0)
-            remove_residues = np.maximum(
-                (volumes * residues - line_counts_f * line_residues)
-                / np.maximum(remove_volumes, 1.0),
-                0.0,
-            )
+        add_residues = (
+            volumes * residues + line_counts_f * line_residues
+        ) / np.maximum(add_volumes, 1.0)
+        remove_residues = np.maximum(
+            (volumes * residues - line_counts_f * line_residues)
+            / np.maximum(remove_volumes, 1.0),
+            0.0,
+        )
         new_volumes = np.where(removing, remove_volumes, add_volumes)
         new_residues = np.where(removing, remove_residues, add_residues)
 
@@ -657,15 +706,11 @@ def floc(
                 )
                 for row_member, col_member in seed_list
             ]
-        # The fast caches are also what powers the weighted ordering's gain
-        # estimates, so they are maintained whenever either needs them.
-        need_fast = (
-            gain_mode == "fast"
-            or ordering in ("weighted", "greedy")
-            or residue_target is not None
-        )
+        # The gain engine scores every candidate lane from the incremental
+        # sufficient statistics, so the caches are always maintained (they
+        # also power the weighted ordering's gain estimates).
         state = _State(
-            matrix.values, matrix.mask, seed_list, fast=need_fast, work=work
+            matrix.values, matrix.mask, seed_list, fast=True, work=work
         )
     initial_residue = float(state.residues.mean())
     if tracer.enabled:
@@ -762,6 +807,9 @@ def _phase2(
     best_score = _score(state, residue_target)
     best_state = state.snapshot()
     slots = action_slots(matrix.n_rows, matrix.n_cols)
+    engine = gain_engine.GainEngine(
+        state, active, alpha, residue_target, gain_mode, tracer
+    )
     n_actions = 0
     n_iterations = 0
     converged = False
@@ -771,37 +819,43 @@ def _phase2(
         if state.work is not None:
             state.work.sweeps += 1
         iteration_began = tracer.clock()
-        iteration_start = state.snapshot()
+        # Deferred until the first performed action: an empty-action
+        # sweep (the common terminal one) costs no snapshot deep copy.
+        iteration_start: Optional[dict] = None
         with tracer.span("ordering", scheme=ordering):
-            order = _ordered_slots(
-                state, slots, ordering, alpha, active, generator,
-                residue_target,
-            )
+            order = _ordered_slots(engine, slots, ordering, generator)
+        # The sweep consults ``order`` front to back; registering it
+        # lets the engine rebuild dirtied wide lanes for just the next
+        # block of consult positions instead of every slot.
+        engine.begin_sweep(order)
         performed: List[_PerformedAction] = []
         iter_best = np.inf
         iter_best_idx = -1
         for kind, index in order:
             with tracer.span("gain_eval") as gain_span:
-                choice = _best_action(
-                    state, kind, index, alpha, active, gain_mode,
-                    residue_target, tracer,
-                )
+                choice = engine.best_action(kind, index)
             tracer.observe("gain_eval_ns", gain_span.elapsed * 1e9)
             if choice is None:
                 continue
             c, new_residue, new_volume, gain = choice
             if not mandatory_moves and gain <= 0.0:
                 continue
+            if iteration_start is None:
+                iteration_start = state.snapshot()
             with tracer.span("perform_action"):
                 state.toggle(kind, index, c)
-                if gain_mode == "fast":
-                    # The estimate guided the choice; the ledger stays exact.
+                if engine.fast_mode:
+                    # The estimate guided the choice; one refresh makes
+                    # the ledger (and the caches) exact again.
                     state.refresh_cluster(c)
                 else:
+                    # The lane score IS the exact after-toggle residue,
+                    # and the toggle kept the sufficient statistics
+                    # current -- assigning the ledger directly avoids a
+                    # full submatrix rescan per performed action.
                     state.residues[c] = new_residue
                     state.volumes[c] = new_volume
-                    if state.fast:
-                        state.refresh_cluster(c)
+                    state.volumes_f[c] = new_volume
             performed.append((kind, index, c))
             if tracer.enabled:
                 tracer.inc("actions_performed")
@@ -826,6 +880,7 @@ def _phase2(
         if iter_best < best_score - tol:
             improved = True
             best_score = iter_best
+            assert iteration_start is not None  # an action was performed
             state.restore(iteration_start)
             for kind, index, c in performed[: iter_best_idx + 1]:
                 state.toggle(kind, index, c)
@@ -836,7 +891,10 @@ def _phase2(
             history.append(float(state.residues.mean()))
         else:
             improved = False
-            state.restore(best_state)
+            if performed:
+                # Only a sweep that actually moved needs rolling back;
+                # the empty terminal sweep leaves the state untouched.
+                state.restore(best_state)
             history.append(
                 history[-1] if history else float(state.residues.mean())
             )
@@ -1061,159 +1119,22 @@ def _gain(
 
 
 def _ordered_slots(
-    state: _State,
+    engine: "gain_engine.GainEngine",
     slots: Sequence[Tuple[str, int]],
     ordering: str,
-    alpha: float,
-    constraints: Constraints,
     rng: np.random.Generator,
-    residue_target: Optional[float],
 ) -> List[Tuple[str, int]]:
     """Build this iteration's action order.
 
     The weighted scheduler needs a gain estimate per slot *before* any
-    action is performed; the O(m) fast path supplies it regardless of the
-    gain mode used for the actual moves (it is only an ordering heuristic).
+    action is performed; the engine's frozen-bases estimate lanes supply
+    it regardless of the gain mode used for the actual moves (it is only
+    an ordering heuristic).
     """
     if ordering == "fixed":
         return list(slots)
     if ordering == "random":
         return make_order("random", slots, [], rng)
     # "weighted" and "greedy" both need per-slot gain estimates.
-    gains = []
-    for kind, index in slots:
-        batch = state.candidate_parts_batch(kind, index)
-        best_gain = BLOCKED_GAIN
-        for c in range(state.k):
-            if _blocked(state, kind, index, c, alpha, constraints, fast_check=True):
-                continue
-            if kind == ROW:
-                is_addition = not bool(state.row_member[c, index])
-            else:
-                is_addition = not bool(state.col_member[c, index])
-            gain = _gain(
-                float(state.residues[c]), int(state.volumes[c]),
-                float(batch[0][c]), int(batch[1][c]), residue_target,
-                float(batch[2][c]), is_addition,
-                int(batch[3][c]), int(batch[4][c]),
-            )
-            best_gain = max(best_gain, gain)
-        gains.append(best_gain)
+    gains = engine.ordering_gains(slots)
     return make_order(ordering, slots, gains, rng)
-
-
-def _blocked(
-    state: _State,
-    kind: str,
-    index: int,
-    c: int,
-    alpha: float,
-    constraints: Constraints,
-    fast_check: bool = False,
-) -> bool:
-    """Constraint + occupancy blocking for one candidate action."""
-    if kind == ROW:
-        is_removal = bool(state.row_member[c, index])
-    else:
-        is_removal = bool(state.col_member[c, index])
-    if constraints.blocks(
-        state.row_member[c], state.col_member[c], kind, index, is_removal,
-        c, state.row_member, state.col_member,
-    ):
-        return True
-    if alpha > 0.0:
-        if fast_check and state.fast and not is_removal:
-            # Cheap proxy: the joining line itself must meet alpha.
-            if kind == ROW:
-                width = int(state.col_member[c].sum())
-                specified = int(state.row_counts[c, index])
-            else:
-                width = int(state.row_member[c].sum())
-                specified = int(state.col_counts[c, index])
-            return width > 0 and specified / width < alpha
-        # Exact Definition-3.1 check of the whole candidate cluster --
-        # removals can also break occupancy (dropping a well-specified
-        # column may push a sparse row below alpha).
-        candidate_ok = toggle_occupancy_ok(
-            state.mask, state.row_member[c], state.col_member[c],
-            kind, index, alpha,
-        )
-        if candidate_ok:
-            return False
-        # A random seed may start out violating alpha; blocking every
-        # action would freeze it as junk forever, so only *new* violations
-        # are blocked -- an already-violating cluster may keep moving.
-        rows = np.flatnonzero(state.row_member[c])
-        cols = np.flatnonzero(state.col_member[c])
-        if rows.size == 0 or cols.size == 0:
-            return True
-        sub_mask = state.mask[np.ix_(rows, cols)]
-        row_frac = sub_mask.sum(axis=1) / cols.size
-        col_frac = sub_mask.sum(axis=0) / rows.size
-        current_ok = bool(
-            (row_frac >= alpha).all() and (col_frac >= alpha).all()
-        )
-        return current_ok
-    return False
-
-
-def _best_action(
-    state: _State,
-    kind: str,
-    index: int,
-    alpha: float,
-    constraints: Constraints,
-    gain_mode: str,
-    residue_target: Optional[float],
-    tracer: Tracer = NULL_TRACER,
-) -> Optional[Tuple[int, float, int, float]]:
-    """Pick the highest-gain unblocked action for one row/column slot.
-
-    Returns ``(cluster, new_residue, new_volume, gain)`` or ``None`` when
-    every cluster's action is blocked.  Negative gains are eligible here
-    -- whether they are *performed* is the caller's ``mandatory_moves``
-    policy.
-    """
-    best: Optional[Tuple[int, float, int, float]] = None
-    best_gain = BLOCKED_GAIN
-    fast = gain_mode == "fast"
-    if fast:
-        batch = state.candidate_parts_batch(kind, index)
-    for c in range(state.k):
-        if _blocked(state, kind, index, c, alpha, constraints, fast_check=fast):
-            tracer.inc("actions_blocked_by_constraint")
-            continue
-        if kind == ROW:
-            is_addition = not bool(state.row_member[c, index])
-        else:
-            is_addition = not bool(state.col_member[c, index])
-        if fast:
-            new_residue = float(batch[0][c])
-            new_volume = int(batch[1][c])
-            line_residue = float(batch[2][c])
-            line_count = int(batch[3][c])
-            width = int(batch[4][c])
-        else:
-            new_residue, new_volume = state.exact_candidate(kind, index, c)
-            if residue_target is not None:
-                # The fast caches exist whenever a target is set.
-                line_residue = state.line_residue(kind, index, c)
-                if kind == ROW:
-                    line_count = int(state.row_counts[c, index])
-                    width = int(state.col_member[c].sum())
-                else:
-                    line_count = int(state.col_counts[c, index])
-                    width = int(state.row_member[c].sum())
-            else:
-                line_residue = None
-                line_count = None
-                width = None
-        gain = _gain(
-            float(state.residues[c]), int(state.volumes[c]),
-            new_residue, new_volume, residue_target,
-            line_residue, is_addition, line_count, width,
-        )
-        if gain > best_gain:
-            best_gain = gain
-            best = (c, new_residue, new_volume, gain)
-    return best

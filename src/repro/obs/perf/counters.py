@@ -9,19 +9,35 @@ analysis:
 ``residue_evals``
     Exact residue recomputations of a cluster submatrix: one per
     :meth:`~repro.core.floc._State.refresh_cluster` of a non-empty
-    cluster and one per exact candidate evaluation.  The O(n*m) unit.
+    cluster, one per per-action exact candidate evaluation, and one
+    per :class:`~repro.core.gain_engine.ExactContext` build (each
+    context re-derives its cluster's residue from the sufficient
+    statistics).  The O(n*m) unit.
 ``cells_scanned``
     Specified cells whose residue contribution was computed, summed
-    over every evaluation.  The finest-grained cost unit -- directly
-    comparable to the paper's "matrix volume x k" scaling claim.
+    over every evaluation: cluster volumes for full scans and context
+    builds, the toggled line's specified-cell count per candidate
+    elsewhere (a lane adds its candidates' line counts, so a block
+    build adds only the selected slots').  The finest-grained cost
+    unit -- directly comparable to the paper's "matrix volume x k"
+    scaling claim.
 ``toggle_evals``
-    Candidate toggle evaluations of any mode: exact re-evaluations,
-    per-cluster frozen-bases estimates, and the k per-cluster lanes of
-    every vectorized batch call.
+    Candidate toggle evaluations of any mode: per-slot scalar calls
+    (``exact_one`` counts 1), per-cluster frozen-bases estimates, the
+    k per-cluster lanes of every vectorized batch call, and the n_out
+    candidates of every engine lane build (S for a full lane, the
+    block size for a windowed rebuild).
 ``batch_evals``
-    Invocations of the vectorized fast-gain batch
-    (:meth:`~repro.core.floc._State.candidate_parts_batch`) -- the unit
-    the batched-gain engine is expected to trade ``toggle_evals`` into.
+    Vectorized candidate evaluations: one per
+    :meth:`~repro.core.floc._State.candidate_parts_batch` call (all k
+    clusters of one slot) and one per gain-engine lane build (all
+    scored slots of one cluster).  The amortization unit: the more
+    ``toggle_evals`` each ``batch_eval`` carries, the better batched.
+``lane_builds``
+    Sorted-residual lane constructions of the batched *exact* backend
+    (:meth:`~repro.core.gain_engine.ResidueBackend.exact_lane`), full
+    or block-windowed -- the O(volume log n) unit that replaced exact
+    mode's per-candidate submatrix rescans.
 ``toggles``
     Membership bits actually flipped (including best-prefix replay).
 ``sweeps``
@@ -50,6 +66,7 @@ WORK_COUNTER_FIELDS: Tuple[str, ...] = (
     "cells_scanned",
     "toggle_evals",
     "batch_evals",
+    "lane_builds",
     "toggles",
     "sweeps",
     "snapshots",

@@ -19,6 +19,11 @@ The built-in workloads are grouped into *suites*:
     Cells of the Tables 2/3 response-time sweep, sharing
     :func:`scaling_cell_config` with ``benchmarks/bench_table2_3_scaling.py``
     so the pytest bench and the harness measure the same configuration.
+``table23``
+    The same Tables 2/3 cells in the *default* (exact) gain mode -- the
+    batched-gain-engine acceptance suite.  CI compares it against
+    ``benchmarks/baselines/BENCH_table23.json`` so the engine's exact-mode
+    speedup is gated alongside smoke.
 ``primitives``
     Fixed-repetition loops over the core per-operation primitives,
     sharing :func:`make_primitives_payload` with
@@ -232,15 +237,20 @@ def _smoke_mining(work: WorkCounters) -> Dict[str, object]:
     }
 
 
-def _scaling_cell(n_rows: int, n_cols: int, k: int) -> Runner:
+def _scaling_cell(
+    n_rows: int, n_cols: int, k: int, gain_mode: Optional[str] = None
+) -> Runner:
     def run(work: WorkCounters) -> Dict[str, object]:
         from ...eval.experiment import run_trial
 
         config = scaling_cell_config(n_rows, n_cols, k)
+        if gain_mode is not None:
+            config = config.with_overrides(gain_mode=gain_mode)
         trial = run_trial(config, rng=1, work=work)
         return {
             "size": f"{n_rows}x{n_cols}",
             "k": k,
+            "gain_mode": config.gain_mode,
             "n_iterations": trial.n_iterations,
             "recall": round(trial.recall, 12),
             "precision": round(trial.precision, 12),
@@ -265,6 +275,50 @@ def _primitives_fast_batch(work: WorkCounters) -> Dict[str, object]:
     for _ in range(reps):
         new_res, _, _, _, _ = state.candidate_parts_batch("row", 400)
         checksum += float(new_res.sum())
+    return {"reps": reps, "checksum": round(checksum, 9)}
+
+
+def _primitives_exact_lane(work: WorkCounters) -> Dict[str, object]:
+    from ...core.gain_engine import ResidueBackend
+
+    _, _, _, state = make_primitives_payload(work=work)
+    backend = ResidueBackend()
+    reps = 50
+    checksum = 0.0
+    for _ in range(reps):
+        lane = backend.exact_lane(state, "row", 0)
+        checksum += float(lane.new_residues.sum())
+    return {"reps": reps, "width": 600, "checksum": round(checksum, 9)}
+
+
+def _primitives_exact_lane_block(work: WorkCounters) -> Dict[str, object]:
+    from ...core.gain_engine import _BLOCK, ResidueBackend
+
+    _, _, _, state = make_primitives_payload(work=work)
+    backend = ResidueBackend()
+    reps = 50
+    checksum = 0.0
+    for rep in range(reps):
+        # One context amortized over the sweep's block rebuilds -- the
+        # shape _resync_block drives during a real Phase 2 iteration.
+        ctx = backend.exact_context(state, "row", 0)
+        for start in range(0, 600, _BLOCK):
+            sel = np.arange(start, min(start + _BLOCK, 600), dtype=np.intp)
+            lane = backend.exact_lane(state, "row", 0, sel=sel, ctx=ctx)
+            checksum += float(lane.new_residues.sum())
+    return {"reps": reps, "block": _BLOCK, "checksum": round(checksum, 9)}
+
+
+def _primitives_estimate_lane(work: WorkCounters) -> Dict[str, object]:
+    from ...core.gain_engine import ResidueBackend
+
+    _, _, _, state = make_primitives_payload(work=work)
+    backend = ResidueBackend()
+    reps = 200
+    checksum = 0.0
+    for _ in range(reps):
+        lane = backend.estimate_lane(state, "row", 0)
+        checksum += float(lane.new_residues.sum())
     return {"reps": reps, "checksum": round(checksum, 9)}
 
 
@@ -299,6 +353,30 @@ register_workload(
     _scaling_cell(250, 30, 12),
 )
 register_workload(
+    "table23_100x20_k6_exact",
+    "Tables 2/3 cell in default (exact) gain mode: 100x20 matrix, k=6",
+    ("table23",),
+    _scaling_cell(100, 20, 6, gain_mode="exact"),
+)
+register_workload(
+    "table23_250x30_k12_exact",
+    "Tables 2/3 cell in default (exact) gain mode: 250x30 matrix, k=12",
+    ("table23",),
+    _scaling_cell(250, 30, 12, gain_mode="exact"),
+)
+register_workload(
+    "table23_500x40_k12_exact",
+    "Tables 2/3 cell in default (exact) gain mode: 500x40 matrix, k=12",
+    ("table23",),
+    _scaling_cell(500, 40, 12, gain_mode="exact"),
+)
+register_workload(
+    "table23_750x50_k10_exact",
+    "Tables 2/3 cell in default (exact) gain mode: 750x50 matrix, k=10",
+    ("table23",),
+    _scaling_cell(750, 50, 10, gain_mode="exact"),
+)
+register_workload(
     "primitives_residue_scan",
     "50 repetitions of the exact cluster residue refresh (600x80 state)",
     ("primitives",),
@@ -309,4 +387,22 @@ register_workload(
     "200 repetitions of the 16-cluster vectorized fast-gain batch",
     ("primitives",),
     _primitives_fast_batch,
+)
+register_workload(
+    "primitives_exact_lane",
+    "50 full exact-lane builds (600 row toggles batched per call)",
+    ("primitives",),
+    _primitives_exact_lane,
+)
+register_workload(
+    "primitives_exact_lane_block",
+    "50 sweeps of context-shared 128-slot block exact-lane builds",
+    ("primitives",),
+    _primitives_exact_lane_block,
+)
+register_workload(
+    "primitives_estimate_lane",
+    "200 frozen-bases estimate-lane builds (fast-mode engine path)",
+    ("primitives",),
+    _primitives_estimate_lane,
 )
