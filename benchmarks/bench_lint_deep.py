@@ -1,0 +1,37 @@
+"""Timing guard for the whole-program analyzer itself.
+
+``repro lint --deep src/`` runs in CI on every push, so the analyzer
+must not rot into something slow: building the symbol table, the call
+graph, and running the four fixpoint rules over the full tree is
+AST-only work and should stay well under a second.  The smoke assertion
+uses a deliberately generous budget (CI machines are noisy) -- it
+exists to catch accidental quadratic blowups, not to pin milliseconds.
+"""
+
+import time
+from pathlib import Path
+
+from repro.devtools.lint import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+#: Generous wall-time ceiling for one --deep pass over src/ (seconds).
+#: Local runs take ~0.3 s; a 20x cushion keeps CI noise out while still
+#: failing loudly if the analyzer picks up super-linear behaviour.
+DEEP_BUDGET_SECONDS = 10.0
+
+
+def test_deep_lint_over_src_completes_within_budget(benchmark):
+    def run():
+        return lint_paths([str(SRC)], deep=True)
+
+    start = time.perf_counter()
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    elapsed = time.perf_counter() - start
+    assert report.violations == []
+    assert report.deep_stats is not None
+    assert elapsed < DEEP_BUDGET_SECONDS, (
+        f"--deep over src/ took {elapsed:.2f}s "
+        f"(budget {DEEP_BUDGET_SECONDS}s); the analyzer has rotted"
+    )

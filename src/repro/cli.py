@@ -603,6 +603,12 @@ def cmd_lint(args: argparse.Namespace) -> int:
         argv += ["--select", args.select]
     if args.list_rules:
         argv += ["--list-rules"]
+    if args.deep:
+        argv += ["--deep"]
+    if args.call_graph:
+        argv += ["--call-graph", args.call_graph]
+    if args.strict_suppressions:
+        argv += ["--strict-suppressions"]
     return lint_main(argv)
 
 
@@ -772,6 +778,16 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--select", default=None, metavar="CODES",
                       help="comma-separated rule codes (e.g. DCL001,DCL005)")
     lint.add_argument("--list-rules", action="store_true")
+    lint.add_argument("--deep", action="store_true",
+                      help="also run the whole-program rules "
+                           "(DCL010-DCL013) over the cross-module "
+                           "call graph")
+    lint.add_argument("--call-graph", default=None, metavar="FN",
+                      help="print a function's transitive reach "
+                           "(qualname or dotted suffix) and exit")
+    lint.add_argument("--strict-suppressions", action="store_true",
+                      help="fail on malformed, unknown, or stale "
+                           "suppression comments")
     lint.set_defaults(func=cmd_lint)
 
     return parser

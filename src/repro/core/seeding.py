@@ -50,7 +50,9 @@ def _ensure_minimum(
             f"cannot build a seed with {minimum} members out of "
             f"{member.size} positions"
         )
-    member[rng.choice(candidates, size=need, replace=False)] = True
+    # In-place by documented contract: callers hand over a freshly drawn
+    # membership vector they own, and -> None makes the mutation explicit.
+    member[rng.choice(candidates, size=need, replace=False)] = True  # dcl: disable=DCL012
 
 
 def bernoulli_seeds(

@@ -8,6 +8,15 @@ residue math on matrices with missing entries, and ``__all__`` hygiene.
 
     python -m repro.devtools.lint src/
     repro lint --format json src/
+    repro lint --deep src/            # + whole-program rules DCL010-013
+    repro lint --call-graph floc src/ # print a function's reach
+
+``--deep`` builds a project-wide symbol table
+(:mod:`repro.devtools.symbols`), a conservative cross-module call graph
+(:mod:`repro.devtools.callgraph`), and runs fixpoint dataflow rules
+(:mod:`repro.devtools.dataflow`) that close the per-file invariants
+transitively: wall-clock reach (DCL010), RNG threading (DCL011),
+ndarray-parameter mutation (DCL012), float equality (DCL013).
 
 See ``docs/DEVELOPMENT.md`` for the rule catalogue and the rationale
 behind each invariant.
@@ -19,19 +28,38 @@ does not import the submodule twice (runpy would warn).
 from typing import List
 
 __all__ = [
+    "CallGraph",
+    "DEEP_RULES",
+    "DeepRule",
     "FileContext",
     "LintReport",
+    "ProjectSymbols",
     "RULES",
     "Rule",
     "Violation",
+    "all_deep_rules",
     "all_rules",
+    "build_callgraph",
+    "build_project",
     "collect_files",
+    "deep_lint",
+    "known_codes",
     "lint_paths",
     "lint_source",
     "main",
+    "propagate",
 ]
 
 _FROM_RULES = {"FileContext", "RULES", "Rule", "Violation", "all_rules"}
+_FROM_SYMBOLS = {"ProjectSymbols", "build_project"}
+_FROM_CALLGRAPH = {"CallGraph", "build_callgraph"}
+_FROM_DATAFLOW = {
+    "DEEP_RULES",
+    "DeepRule",
+    "all_deep_rules",
+    "deep_lint",
+    "propagate",
+}
 
 
 def __getattr__(name: str) -> object:
@@ -39,6 +67,18 @@ def __getattr__(name: str) -> object:
         from . import rules
 
         return getattr(rules, name)
+    if name in _FROM_SYMBOLS:
+        from . import symbols
+
+        return getattr(symbols, name)
+    if name in _FROM_CALLGRAPH:
+        from . import callgraph
+
+        return getattr(callgraph, name)
+    if name in _FROM_DATAFLOW:
+        from . import dataflow
+
+        return getattr(dataflow, name)
     if name in __all__:
         from . import lint
 

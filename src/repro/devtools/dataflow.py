@@ -1,0 +1,699 @@
+"""Fixpoint dataflow over the call graph: the transitive DCL rules.
+
+:func:`propagate` is a generic backward taint engine: given *seed*
+functions (each with a human-readable reason) it walks caller edges to
+a fixpoint and records, for every reached function, the call site and
+callee it inherited the taint from -- so each violation can print a
+witness chain (``floc -> _phase2 -> timed_helper``) instead of a bare
+"transitively reaches".  Iteration order is sorted everywhere, so the
+result -- and therefore ``repro lint --deep --json`` -- is
+byte-deterministic.
+
+The four deep rules (run only under ``--deep``; they are a separate
+registry from the per-file ``RULES`` so plain ``repro lint`` semantics
+are unchanged):
+
+DCL010
+    Closure of DCL002: no *transitive* wall-clock reach from
+    ``src/repro/core/``.  Direct reads are DCL002's job; this rule
+    flags core functions whose callees (at any depth, across modules)
+    hit ``time.*`` / ``datetime.*``.  The tracer clock seam
+    (``Tracer.clock``) is a class attribute, not a ``def``, so calls
+    through it stay unresolved rather than tainting callers -- the seam
+    is sanctioned by construction.
+DCL011
+    Closure of DCL001/DCL004: RNG threading.  A core function whose
+    callees consume an RNG (take an ``rng``/``generator``/
+    ``random_state`` parameter, or call ``numpy.random.default_rng``)
+    must receive a generator itself and pass it explicitly.  Taint
+    stops at call sites that cover the callee's RNG parameter.
+DCL012
+    No in-place mutation of ndarray parameters in ``core/``: an
+    intraprocedural alias/escape walk over ``+=``, slice assignment and
+    mutating method calls (``.sort()``, ``.fill()``, ``np.copyto``,
+    ``out=``).  Buffers owned by a ``*State`` class (``self.x[...] =``,
+    or a parameter annotated with a project ``*State`` class -- resolved
+    cross-module through the symbol table) are exempt; ``.copy()``
+    rebinding kills the alias.
+DCL013
+    No float ``==``/``!=`` in ``core/`` (the batched gain engine
+    included): literal floats, ``float(...)``, ``nan``/``inf``, and --
+    cross-module via the symbol table -- calls to project functions
+    annotated to return ``float``.  Bitwise-parity seams must carry a
+    line-level suppression with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+)
+
+from .callgraph import CallGraph, CallSite, build_callgraph
+from .rules import Violation, _CLOCK_CALLS, _in_core
+from .symbols import (
+    ClassSymbol,
+    FunctionSymbol,
+    ModuleSymbols,
+    ProjectSymbols,
+    build_project,
+)
+
+__all__ = [
+    "DEEP_RULES",
+    "DeepRule",
+    "FloatEqualityRule",
+    "NdarrayParamMutationRule",
+    "RngThreadingRule",
+    "Taint",
+    "TransitiveWallClockRule",
+    "all_deep_rules",
+    "deep_lint",
+    "propagate",
+    "witness_chain",
+]
+
+
+@dataclass(frozen=True)
+class Taint:
+    """How one function became tainted during propagation."""
+
+    qualname: str
+    reason: str  #: the seed function's reason, inherited unchanged
+    site: Optional[CallSite]  #: call site that spread it (None = seed)
+    parent: Optional[str]  #: callee the taint came from (None = seed)
+
+
+def propagate(
+    graph: CallGraph,
+    seeds: Mapping[str, str],
+    follow: Optional[Callable[[CallSite], bool]] = None,
+) -> Dict[str, Taint]:
+    """Backward (callee -> caller) taint propagation to a fixpoint.
+
+    ``seeds`` maps qualnames to the reason they are tainted; ``follow``
+    filters which call sites conduct taint (DCL011 passes
+    ``lambda s: not s.passes_rng``).  BFS in sorted order makes the
+    parent choice -- hence every witness chain -- deterministic.
+    """
+    tainted: Dict[str, Taint] = {}
+    for qualname in sorted(seeds):
+        if qualname in graph.nodes:
+            tainted[qualname] = Taint(qualname, seeds[qualname], None, None)
+    frontier = sorted(tainted)
+    while frontier:
+        discovered: Set[str] = set()
+        for qualname in frontier:
+            for site in graph.callers_of(qualname):
+                if follow is not None and not follow(site):
+                    continue
+                if site.caller in tainted:
+                    continue
+                tainted[site.caller] = Taint(
+                    site.caller, tainted[qualname].reason, site, qualname
+                )
+                discovered.add(site.caller)
+        frontier = sorted(discovered)
+    return tainted
+
+
+def witness_chain(tainted: Mapping[str, Taint], qualname: str) -> List[str]:
+    """``[qualname, ..., seed]`` following the recorded parents."""
+    chain = [qualname]
+    current = tainted[qualname]
+    while current.parent is not None:
+        chain.append(current.parent)
+        current = tainted[current.parent]
+    return chain
+
+
+def _short_chain(chain: Sequence[str]) -> str:
+    """Render a witness chain with module prefixes trimmed."""
+    return " -> ".join(name.rsplit(".", 2)[-1] for name in chain)
+
+
+class DeepRule:
+    """A whole-program rule: sees the symbol table and the call graph."""
+
+    code: str = ""
+    summary: str = ""
+
+    def check(
+        self, project: ProjectSymbols, graph: CallGraph
+    ) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def _violation(
+        self, sym_path: str, line: int, col: int, message: str
+    ) -> Violation:
+        return Violation(
+            rule=self.code, path=sym_path, line=line, col=col, message=message
+        )
+
+
+class TransitiveWallClockRule(DeepRule):
+    """DCL010: no transitive wall-clock reach from core."""
+
+    code = "DCL010"
+    summary = (
+        "no transitive wall-clock reach from src/repro/core: a core "
+        "function's callees (at any depth) must not read time.* / "
+        "datetime.* (closure of DCL002)"
+    )
+
+    def check(
+        self, project: ProjectSymbols, graph: CallGraph
+    ) -> Iterator[Violation]:
+        seeds: Dict[str, str] = {}
+        for qualname in sorted(graph.nodes):
+            node = graph.nodes[qualname]
+            hits = sorted(set(node.external_calls) & _CLOCK_CALLS)
+            if hits:
+                seeds[qualname] = hits[0]
+        tainted = propagate(graph, seeds)
+        for qualname in sorted(tainted):
+            if qualname in seeds:
+                continue  # direct reads are DCL002's per-file finding
+            taint = tainted[qualname]
+            sym = graph.nodes[qualname].sym
+            if not _in_core(sym.path):
+                continue
+            chain = witness_chain(tainted, qualname)
+            yield self._violation(
+                sym.path,
+                sym.lineno,
+                sym.col,
+                (
+                    f"'{sym.name}' transitively reaches wall-clock call "
+                    f"{taint.reason} via {_short_chain(chain)}; core timing "
+                    "goes through the tracer clock seam"
+                ),
+            )
+
+
+class RngThreadingRule(DeepRule):
+    """DCL011: core callers of RNG consumers must thread a generator."""
+
+    code = "DCL011"
+    summary = (
+        "core functions whose callees consume an RNG must receive it as "
+        "a parameter and pass it explicitly at every call site "
+        "(closure of DCL001/DCL004)"
+    )
+
+    #: external factories that mint a generator
+    _FACTORIES = frozenset({"numpy.random.default_rng"})
+
+    def check(
+        self, project: ProjectSymbols, graph: CallGraph
+    ) -> Iterator[Violation]:
+        seeds: Dict[str, str] = {}
+        for qualname in sorted(graph.nodes):
+            node = graph.nodes[qualname]
+            spec = node.sym.rng_parameter()
+            if spec is not None:
+                seeds[qualname] = f"'{node.sym.name}' (rng parameter '{spec[0]}')"
+                continue
+            factories = sorted(set(node.external_calls) & self._FACTORIES)
+            if factories:
+                seeds[qualname] = f"'{node.sym.name}' (calls {factories[0]})"
+        tainted = propagate(
+            graph, seeds, follow=lambda site: not site.passes_rng
+        )
+        for qualname in sorted(tainted):
+            if qualname in seeds:
+                continue  # the consumer itself is threaded (or DCL001/4's job)
+            taint = tainted[qualname]
+            sym = graph.nodes[qualname].sym
+            if not _in_core(sym.path) or taint.site is None:
+                continue
+            chain = witness_chain(tainted, qualname)
+            yield self._violation(
+                sym.path,
+                taint.site.lineno,
+                taint.site.col,
+                (
+                    f"'{sym.name}' reaches RNG consumer {taint.reason} via "
+                    f"{_short_chain(chain)} without threading a generator: "
+                    "add an rng parameter and pass it explicitly"
+                ),
+            )
+
+
+# -- DCL012 ----------------------------------------------------------------
+
+#: attribute views that keep aliasing the base array
+_VIEW_ATTRS = frozenset({"T", "mT", "flat", "real", "imag"})
+#: numpy module-level functions returning (possible) views of arg 0
+_VIEW_FUNCS = frozenset(
+    {
+        "asarray",
+        "ascontiguousarray",
+        "asfortranarray",
+        "atleast_1d",
+        "atleast_2d",
+        "atleast_3d",
+        "broadcast_to",
+        "ravel",
+        "reshape",
+        "squeeze",
+        "swapaxes",
+        "transpose",
+    }
+)
+#: methods returning (possible) views of the receiver
+_VIEW_METHODS = frozenset(
+    {"reshape", "view", "transpose", "squeeze", "ravel", "swapaxes"}
+)
+#: ndarray methods that mutate the receiver in place
+_MUTATOR_METHODS = frozenset(
+    {"fill", "sort", "partition", "put", "itemset", "setfield", "resize"}
+)
+#: numpy module-level functions that mutate their first argument
+_MUTATOR_FUNCS = frozenset({"copyto", "place", "put", "putmask"})
+
+
+class _MutationWalker:
+    """Source-order alias walk over one function body.
+
+    ``env`` maps local names to the tracked parameter they alias;
+    rebinding to anything that is not a view (``x = x.copy()``) kills
+    the alias.  Branches are walked in source order without joins --
+    a deliberate approximation (documented in DEVELOPMENT.md): the
+    ``.copy()``-then-mutate idiom the core uses is flow-ordered, and
+    a missed kill only costs a suppressible false positive, never a
+    silent false negative on straight-line code.
+    """
+
+    def __init__(
+        self, rule: "NdarrayParamMutationRule", sym: FunctionSymbol
+    ) -> None:
+        self.rule = rule
+        self.sym = sym
+        self.env: Dict[str, str] = {}
+        self.found: List[Violation] = []
+
+    def run(self, tracked: Sequence[str]) -> List[Violation]:
+        self.env = {param: param for param in tracked}
+        assert self.sym.node is not None
+        body = getattr(self.sym.node, "body", [])
+        self._block(body)
+        return self.found
+
+    # -- alias queries ---------------------------------------------------
+    def _root(self, expr: ast.AST) -> Optional[str]:
+        if isinstance(expr, ast.Name):
+            return self.env.get(expr.id)
+        if isinstance(expr, ast.Subscript):
+            return self._root(expr.value)
+        if isinstance(expr, ast.Attribute):
+            if expr.attr in _VIEW_ATTRS:
+                return self._root(expr.value)
+            return None
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _VIEW_FUNCS
+                and expr.args
+            ):
+                # np.asarray(x), np.reshape(x, ...)
+                return self._root(expr.args[0])
+            if isinstance(func, ast.Attribute) and func.attr in _VIEW_METHODS:
+                return self._root(func.value)
+            if (
+                isinstance(func, ast.Name)
+                and func.id in _VIEW_FUNCS
+                and expr.args
+            ):
+                return self._root(expr.args[0])
+            return None
+        return None
+
+    def _flag(self, node: ast.AST, param: str, kind: str) -> None:
+        self.found.append(
+            self.rule._violation(
+                self.sym.path,
+                getattr(node, "lineno", self.sym.lineno),
+                getattr(node, "col_offset", 0),
+                (
+                    f"'{self.sym.name}' mutates ndarray parameter "
+                    f"'{param}' in place ({kind}); return a new array, "
+                    "`.copy()` first, or route through a *State-owned "
+                    "buffer"
+                ),
+            )
+        )
+
+    # -- expression scan (mutating calls) --------------------------------
+    def _scan(self, expr: Optional[ast.AST]) -> None:
+        if expr is None:
+            return
+        for sub in ast.walk(expr):
+            if not isinstance(sub, ast.Call):
+                continue
+            func = sub.func
+            if isinstance(func, ast.Attribute):
+                recv_root = self._root(func.value)
+                if func.attr in _MUTATOR_METHODS and recv_root is not None:
+                    self._flag(sub, recv_root, f".{func.attr}() call")
+                elif (
+                    func.attr in _MUTATOR_FUNCS
+                    and sub.args
+                    and self._root(sub.args[0]) is not None
+                ):
+                    root = self._root(sub.args[0])
+                    assert root is not None
+                    self._flag(sub, root, f"np.{func.attr}() call")
+            for keyword in sub.keywords:
+                if keyword.arg == "out":
+                    root = self._root(keyword.value)
+                    if root is not None:
+                        self._flag(sub, root, "out= argument")
+
+    # -- statement walk --------------------------------------------------
+    def _block(self, stmts: Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            self._stmt(stmt)
+
+    def _kill_targets(self, target: ast.AST) -> None:
+        for sub in ast.walk(target):
+            if isinstance(sub, ast.Name):
+                self.env.pop(sub.id, None)
+
+    def _store_target(self, target: ast.AST) -> None:
+        """A write *through* a target expression (not a rebind)."""
+        if isinstance(target, ast.Subscript):
+            root = self._root(target.value)
+            if root is not None:
+                self._flag(target, root, "item/slice assignment")
+        elif isinstance(target, ast.Attribute):
+            root = self._root(target.value)
+            if root is not None:
+                self._flag(target, root, f".{target.attr} assignment")
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._store_target(element)
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            self._scan(stmt.value)
+            root = self._root(stmt.value)
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    if root is not None:
+                        self.env[target.id] = root
+                    else:
+                        self.env.pop(target.id, None)
+                else:
+                    self._store_target(target)
+                    self._kill_targets_in_tuples(target)
+        elif isinstance(stmt, ast.AnnAssign):
+            self._scan(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                root = (
+                    self._root(stmt.value) if stmt.value is not None else None
+                )
+                if root is not None:
+                    self.env[stmt.target.id] = root
+                else:
+                    self.env.pop(stmt.target.id, None)
+            else:
+                self._store_target(stmt.target)
+        elif isinstance(stmt, ast.AugAssign):
+            self._scan(stmt.value)
+            target = stmt.target
+            if isinstance(target, ast.Name):
+                root = self.env.get(target.id)
+                if root is not None:
+                    self._flag(stmt, root, "augmented assignment")
+            else:
+                root = self._root(target)
+                if root is not None:
+                    self._flag(stmt, root, "augmented assignment")
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Subscript):
+                    root = self._root(target.value)
+                    if root is not None:
+                        self._flag(stmt, root, "del of item/slice")
+                elif isinstance(target, ast.Name):
+                    self.env.pop(target.id, None)
+        elif isinstance(stmt, (ast.Expr, ast.Return)):
+            self._scan(stmt.value)
+        elif isinstance(stmt, ast.If):
+            self._scan(stmt.test)
+            self._block(stmt.body)
+            self._block(stmt.orelse)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._scan(stmt.iter)
+            self._kill_targets(stmt.target)
+            self._block(stmt.body)
+            self._block(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self._scan(stmt.test)
+            self._block(stmt.body)
+            self._block(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._scan(item.context_expr)
+                if item.optional_vars is not None:
+                    self._kill_targets(item.optional_vars)
+            self._block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._block(stmt.body)
+            for handler in stmt.handlers:
+                self._block(handler.body)
+            self._block(stmt.orelse)
+            self._block(stmt.finalbody)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested defs capture the parameter by closure; walk them
+            # with the current env (shadowing params would be rare and
+            # only costs a reviewable false positive).
+            self._block(stmt.body)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for value in ast.iter_child_nodes(stmt):
+                self._scan(value)
+
+    def _kill_targets_in_tuples(self, target: ast.AST) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                if isinstance(element, ast.Name):
+                    self.env.pop(element.id, None)
+
+
+class NdarrayParamMutationRule(DeepRule):
+    """DCL012: core functions must not mutate ndarray parameters."""
+
+    code = "DCL012"
+    summary = (
+        "no in-place mutation of ndarray parameters in src/repro/core "
+        "(+=, slice assignment, .sort()/.fill()/out=); *State-owned "
+        "buffers are exempt"
+    )
+
+    def check(
+        self, project: ProjectSymbols, graph: CallGraph
+    ) -> Iterator[Violation]:
+        for sym in project.iter_functions():
+            if not _in_core(sym.path) or sym.node is None:
+                continue
+            tracked = self._tracked_params(project, sym)
+            if not tracked:
+                continue
+            walker = _MutationWalker(self, sym)
+            for violation in walker.run(tracked):
+                yield violation
+
+    def _tracked_params(
+        self, project: ProjectSymbols, sym: FunctionSymbol
+    ) -> List[str]:
+        module = project.modules.get(sym.module)
+        tracked: List[str] = []
+        for index, param in enumerate(sym.params):
+            if index == 0 and sym.has_implicit_self:
+                continue  # self/cls: *State-owned buffers are the seam
+            annotation = sym.annotations.get(param)
+            if annotation is None:
+                continue
+            if self._is_state_annotation(project, module, annotation):
+                continue
+            if "ndarray" in annotation or "NDArray" in annotation:
+                tracked.append(param)
+        return tracked
+
+    @staticmethod
+    def _is_state_annotation(
+        project: ProjectSymbols,
+        module: Optional[ModuleSymbols],
+        annotation: str,
+    ) -> bool:
+        """Annotation names a project ``*State`` class (cross-module)."""
+        if module is None:
+            return False
+        cls: Optional[ClassSymbol]
+        for token in annotation.replace('"', " ").replace("'", " ").split():
+            cls = project.resolve_class_name(module, token.strip("[],"))
+            if cls is not None and cls.name.lstrip("_").endswith("State"):
+                return True
+        return False
+
+
+class FloatEqualityRule(DeepRule):
+    """DCL013: no float ``==``/``!=`` in core outside sanctioned seams."""
+
+    code = "DCL013"
+    summary = (
+        "no float ==/!= comparisons in src/repro/core (incl. "
+        "gain_engine): compare with an explicit tolerance, or suppress "
+        "at a justified bitwise-parity seam"
+    )
+
+    _FLOAT_CONST_TAILS = frozenset({"nan", "inf", "infty", "infinity"})
+
+    def check(
+        self, project: ProjectSymbols, graph: CallGraph
+    ) -> Iterator[Violation]:
+        for name in sorted(project.modules):
+            module = project.modules[name]
+            if not _in_core(module.path):
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Compare):
+                    continue
+                if not any(
+                    isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops
+                ):
+                    continue
+                operands = [node.left, *node.comparators]
+                reason = None
+                for operand in operands:
+                    reason = self._floatish(project, module, operand)
+                    if reason is not None:
+                        break
+                if reason is None:
+                    continue
+                yield self._violation(
+                    module.path,
+                    node.lineno,
+                    node.col_offset,
+                    (
+                        f"float equality comparison ({reason}); use an "
+                        "explicit tolerance (math.isclose / np.isclose) "
+                        "or justify a bitwise-parity seam with "
+                        "'# dcl: disable=DCL013'"
+                    ),
+                )
+
+    def _floatish(
+        self,
+        project: ProjectSymbols,
+        module: ModuleSymbols,
+        expr: ast.AST,
+    ) -> Optional[str]:
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, float):
+            return f"against float literal {expr.value!r}"
+        if isinstance(expr, ast.UnaryOp) and isinstance(
+            expr.operand, ast.Constant
+        ):
+            if isinstance(expr.operand.value, float):
+                return "against a signed float literal"
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            if isinstance(func, ast.Name) and func.id == "float":
+                return "against float(...)"
+            dotted = _call_dotted(module, func)
+            if dotted is not None:
+                resolution = project.resolve_callable(dotted)
+                if (
+                    resolution.function is not None
+                    and resolution.function.returns is not None
+                    and _returns_float(resolution.function.returns)
+                ):
+                    return (
+                        "against the float return of "
+                        f"'{resolution.function.qualname}'"
+                    )
+        tail = _name_tail(expr)
+        if tail is not None and tail.lower() in self._FLOAT_CONST_TAILS:
+            return f"against {tail}"
+        return None
+
+
+def _returns_float(annotation: str) -> bool:
+    return annotation in ("float", "np.float64", "numpy.float64")
+
+
+def _name_tail(expr: ast.AST) -> Optional[str]:
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Name):
+        return expr.id
+    return None
+
+
+def _call_dotted(module: ModuleSymbols, func: ast.AST) -> Optional[str]:
+    """Resolve a call's func expression to an absolute dotted name."""
+    parts: List[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    parts.reverse()
+    base = parts[0]
+    if base in module.functions:
+        return f"{module.name}.{parts[0]}" if len(parts) == 1 else None
+    if base in module.imports:
+        return ".".join([module.imports[base], *parts[1:]])
+    return None
+
+
+DEEP_RULES: Tuple[Type[DeepRule], ...] = (
+    TransitiveWallClockRule,
+    RngThreadingRule,
+    NdarrayParamMutationRule,
+    FloatEqualityRule,
+)
+
+
+def all_deep_rules(
+    select: Optional[Sequence[str]] = None,
+) -> List[DeepRule]:
+    """Instantiate the deep registry, optionally filtered to codes."""
+    rules = [cls() for cls in DEEP_RULES]
+    if select is None:
+        return rules
+    wanted = {code.strip().upper() for code in select}
+    return [rule for rule in rules if rule.code in wanted]
+
+
+def deep_lint(
+    files: Mapping[str, str],
+    rules: Optional[Sequence[DeepRule]] = None,
+) -> Tuple[List[Violation], Dict[str, object]]:
+    """Run the deep rules over ``{path: source}``.
+
+    Returns the (unsuppressed -- the caller applies suppressions) sorted
+    violations plus the call-graph statistics block for ``--json``.
+    """
+    project = build_project(files)
+    graph = build_callgraph(project)
+    found: List[Violation] = []
+    for rule in rules if rules is not None else all_deep_rules():
+        found.extend(rule.check(project, graph))
+    found.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return found, graph.stats()

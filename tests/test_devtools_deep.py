@@ -1,0 +1,612 @@
+"""Self-tests for the whole-program analyzer (``repro lint --deep``).
+
+Covers the three analysis layers (symbol table, call graph, dataflow)
+plus the four transitive rules DCL010-DCL013.  Each rule gets at least
+one *transitive* positive fixture -- a violation spread across two
+modules that no single-file AST rule could see -- alongside negative,
+suppression, and path-scoping cases, following the
+``tests/test_devtools_lint.py`` pattern.  A golden-file test pins the
+call graph of a small synthetic package, and a determinism test asserts
+two ``--deep --format json`` runs over the real ``src/`` tree are
+byte-identical.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.callgraph import build_callgraph, render_reach
+from repro.devtools.dataflow import (
+    DEEP_RULES,
+    all_deep_rules,
+    deep_lint,
+    propagate,
+    witness_chain,
+)
+from repro.devtools.lint import lint_paths, main
+from repro.devtools.symbols import build_project, module_name_for_path
+
+pytestmark = pytest.mark.devtools
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+DATA = Path(__file__).resolve().parent / "data"
+
+CORE_A = "src/repro/core/alpha.py"
+CORE_B = "src/repro/core/beta.py"
+OTHER_A = "src/repro/data/alpha.py"
+OTHER_B = "src/repro/data/beta.py"
+
+
+def deep_codes(files, select=None):
+    violations, _ = deep_lint(files, all_deep_rules(select))
+    return [v.rule for v in violations]
+
+
+def write_tree(tmp_path, files):
+    """Materialize a ``{relpath: source}`` dict under ``tmp_path``."""
+    for rel, source in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    return tmp_path
+
+
+# ----------------------------------------------------------------------
+# Symbol table
+# ----------------------------------------------------------------------
+class TestSymbols:
+    def test_module_name_from_src_layout(self):
+        assert module_name_for_path("src/repro/core/floc.py") == (
+            "repro.core.floc"
+        )
+        assert module_name_for_path("/tmp/x/src/repro/core/__init__.py") == (
+            "repro.core"
+        )
+
+    def test_relative_import_resolution(self):
+        files = {
+            "src/repro/core/alpha.py": (
+                "from .beta import helper\n"
+                "from ..obs.events import Event\n"
+                "__all__ = []\n"
+            ),
+            "src/repro/core/beta.py": "__all__ = ['helper']\n"
+            "def helper():\n    return 1\n",
+        }
+        project = build_project(files)
+        module = project.modules["repro.core.alpha"]
+        assert module.imports["helper"] == "repro.core.beta.helper"
+        assert module.imports["Event"] == "repro.obs.events.Event"
+        resolution = project.resolve_callable("repro.core.beta.helper")
+        assert resolution.function is not None
+        assert resolution.function.qualname == "repro.core.beta.helper"
+
+    def test_reexport_chain_is_chased(self):
+        files = {
+            "src/pkg/__init__.py": "from .impl import work\n__all__ = ['work']\n",
+            "src/pkg/impl.py": "__all__ = ['work']\ndef work():\n    return 0\n",
+            "src/app.py": (
+                "import pkg\n__all__ = []\n"
+                "def run():\n    return pkg.work()\n"
+            ),
+        }
+        project = build_project(files)
+        graph = build_callgraph(project)
+        callees = [s.callee for s in graph.nodes["app.run"].calls]
+        assert callees == ["pkg.impl.work"]
+
+    def test_unanalyzed_project_module_is_accounted(self):
+        project = build_project(
+            {"src/repro/core/alpha.py": "__all__ = []\n"}
+        )
+        resolution = project.resolve_callable("repro.core.missing.fn")
+        assert not resolution.resolved
+        assert resolution.reason == "unanalyzed-module"
+
+
+# ----------------------------------------------------------------------
+# Call graph
+# ----------------------------------------------------------------------
+_GOLDEN_FILES = {
+    "src/mypkg/__init__.py": "",
+    "src/mypkg/util.py": (
+        "import time\n"
+        "__all__ = ['tick']\n"
+        "def tick():\n"
+        "    return time.perf_counter()\n"
+    ),
+    "src/mypkg/app.py": (
+        "from .util import tick\n"
+        "__all__ = ['Runner', 'main']\n"
+        "class Runner:\n"
+        "    def __init__(self):\n"
+        "        self.count = 0\n"
+        "    def go(self):\n"
+        "        self.count = self.count + 1\n"
+        "        return tick()\n"
+        "def main(callback):\n"
+        "    runner = Runner()\n"
+        "    callback()\n"
+        "    return runner.go()\n"
+    ),
+}
+
+
+class TestCallGraph:
+    def test_golden_file(self):
+        graph = build_callgraph(build_project(_GOLDEN_FILES))
+        payload = json.dumps(graph.to_dict(), indent=2, sort_keys=True)
+        golden = (DATA / "callgraph_golden.json").read_text()
+        assert payload == golden, (
+            "call graph drifted from tests/data/callgraph_golden.json; "
+            "if the change is intended, regenerate the golden file"
+        )
+
+    def test_method_dispatch_and_constructor_edges(self):
+        graph = build_callgraph(build_project(_GOLDEN_FILES))
+        main_calls = [s.callee for s in graph.nodes["mypkg.app.main"].calls]
+        assert "mypkg.app.Runner.__init__" in main_calls
+        assert "mypkg.app.Runner.go" in main_calls
+        go_calls = [s.callee for s in graph.nodes["mypkg.app.Runner.go"].calls]
+        assert go_calls == ["mypkg.util.tick"]
+
+    def test_unresolved_accounting(self):
+        graph = build_callgraph(build_project(_GOLDEN_FILES))
+        reasons = [
+            u.reason for u in graph.nodes["mypkg.app.main"].unresolved
+        ]
+        assert reasons == ["callable-parameter"]
+        stats = graph.stats()
+        assert stats["unresolved_calls"]["by_reason"] == {
+            "callable-parameter": 1
+        }
+        assert stats["functions"] == 4
+
+    def test_external_calls_are_canonical(self):
+        graph = build_callgraph(build_project(_GOLDEN_FILES))
+        assert "time.perf_counter" in (
+            graph.nodes["mypkg.util.tick"].external_calls
+        )
+
+    def test_transitive_callees(self):
+        graph = build_callgraph(build_project(_GOLDEN_FILES))
+        assert graph.transitive_callees("mypkg.app.main") == [
+            "mypkg.app.Runner.__init__",
+            "mypkg.app.Runner.go",
+            "mypkg.util.tick",
+        ]
+
+    def test_render_reach_matches_suffix(self):
+        graph = build_callgraph(build_project(_GOLDEN_FILES))
+        lines, matched = render_reach(graph, "main")
+        assert matched
+        assert lines[0] == "mypkg.app.main"
+        assert any("mypkg.util.tick" in line for line in lines)
+        _, matched = render_reach(graph, "nope")
+        assert not matched
+
+
+# ----------------------------------------------------------------------
+# Fixpoint propagation
+# ----------------------------------------------------------------------
+class TestPropagate:
+    def test_witness_chain_is_deterministic(self):
+        files = {
+            "src/repro/core/alpha.py": (
+                "from .beta import middle\n__all__ = []\n"
+                "def top():\n    return middle()\n"
+            ),
+            "src/repro/core/beta.py": (
+                "import time\n__all__ = []\n"
+                "def middle():\n    return leaf()\n"
+                "def leaf():\n    return time.perf_counter()\n"
+            ),
+        }
+        graph = build_callgraph(build_project(files))
+        tainted = propagate(graph, {"repro.core.beta.leaf": "clock"})
+        chain = witness_chain(tainted, "repro.core.alpha.top")
+        assert chain == [
+            "repro.core.alpha.top",
+            "repro.core.beta.middle",
+            "repro.core.beta.leaf",
+        ]
+
+    def test_follow_filter_stops_taint(self):
+        files = {
+            "src/repro/core/alpha.py": (
+                "from .beta import consume\n__all__ = []\n"
+                "def threaded(rng):\n    return consume(rng=rng)\n"
+            ),
+            "src/repro/core/beta.py": (
+                "__all__ = []\n"
+                "def consume(rng=None):\n    return rng\n"
+            ),
+        }
+        graph = build_callgraph(build_project(files))
+        tainted = propagate(
+            graph,
+            {"repro.core.beta.consume": "rng"},
+            follow=lambda site: not site.passes_rng,
+        )
+        assert "repro.core.alpha.threaded" not in tainted
+
+
+# ----------------------------------------------------------------------
+# DCL010 -- transitive wall-clock reach from core
+# ----------------------------------------------------------------------
+class TestTransitiveWallClock:
+    FILES = {
+        CORE_A: (
+            "from .beta import helper\n__all__ = []\n"
+            "def run(x):\n    return helper(x)\n"
+        ),
+        CORE_B: (
+            "import time\n__all__ = []\n"
+            "def helper(x):\n    return x + time.perf_counter()\n"
+        ),
+    }
+
+    def test_transitive_reach_fires_in_core(self):
+        violations, _ = deep_lint(self.FILES, all_deep_rules(["DCL010"]))
+        assert [v.rule for v in violations] == ["DCL010"]
+        v = violations[0]
+        # The *caller* that only reaches the clock through another
+        # module is flagged -- invisible to any single-file rule.
+        assert v.path == CORE_A
+        assert "time.perf_counter" in v.message
+        assert "run -> helper" in v.message
+
+    def test_direct_reader_is_left_to_dcl002(self):
+        violations, _ = deep_lint(self.FILES, all_deep_rules(["DCL010"]))
+        assert all(v.path != CORE_B for v in violations)
+
+    def test_clean_chain_is_silent(self):
+        files = {
+            CORE_A: (
+                "from .beta import helper\n__all__ = []\n"
+                "def run(x):\n    return helper(x)\n"
+            ),
+            CORE_B: "__all__ = []\ndef helper(x):\n    return x * 2\n",
+        }
+        assert deep_codes(files, ["DCL010"]) == []
+
+    def test_path_scoping_outside_core(self):
+        files = {
+            OTHER_A: self.FILES[CORE_A],
+            OTHER_B: self.FILES[CORE_B],
+        }
+        assert deep_codes(files, ["DCL010"]) == []
+
+    def test_line_level_suppression(self, tmp_path):
+        files = dict(self.FILES)
+        files[CORE_A] = files[CORE_A].replace(
+            "def run(x):", "def run(x):  # dcl: disable=DCL010"
+        )
+        write_tree(tmp_path, files)
+        report = lint_paths([str(tmp_path)], deep=True)
+        assert "DCL010" not in [v.rule for v in report.violations]
+
+
+# ----------------------------------------------------------------------
+# DCL011 -- RNG threading closure
+# ----------------------------------------------------------------------
+class TestRngThreading:
+    FILES = {
+        CORE_B: (
+            "__all__ = ['consume']\n"
+            "def consume(data, rng=None):\n    return data\n"
+        ),
+        CORE_A: (
+            "from .beta import consume\n__all__ = []\n"
+            "def middle(data):\n    return consume(data)\n"
+            "def outer(data):\n    return middle(data)\n"
+        ),
+    }
+
+    def test_unthreaded_chain_fires_transitively(self):
+        violations, _ = deep_lint(self.FILES, all_deep_rules(["DCL011"]))
+        paths_lines = {(v.path, v.rule) for v in violations}
+        # Both the direct caller and -- transitively -- its caller are
+        # flagged: 'outer' never mentions an RNG in its own file/AST.
+        assert paths_lines == {(CORE_A, "DCL011")}
+        assert len(violations) == 2
+        assert any("outer" in v.message for v in violations)
+        assert any("middle" in v.message for v in violations)
+
+    def test_explicit_pass_is_clean(self):
+        files = {
+            CORE_B: self.FILES[CORE_B],
+            CORE_A: (
+                "from .beta import consume\n__all__ = []\n"
+                "def middle(data, rng=None):\n    return consume(data, rng)\n"
+                "def outer(data, rng=None):\n"
+                "    return middle(data, rng=rng)\n"
+            ),
+        }
+        assert deep_codes(files, ["DCL011"]) == []
+
+    def test_consumer_itself_not_flagged(self):
+        assert all(
+            v.path != CORE_B
+            for v in deep_lint(self.FILES, all_deep_rules(["DCL011"]))[0]
+        )
+
+    def test_path_scoping_outside_core(self):
+        files = {
+            OTHER_B: self.FILES[CORE_B],
+            OTHER_A: self.FILES[CORE_A].replace(".beta", ".beta"),
+        }
+        assert deep_codes(files, ["DCL011"]) == []
+
+    def test_line_level_suppression(self, tmp_path):
+        files = dict(self.FILES)
+        files[CORE_A] = (
+            "from .beta import consume\n__all__ = []\n"
+            "def middle(data):\n"
+            "    return consume(data)  # dcl: disable=DCL011\n"
+            "def outer(data):\n"
+            "    return middle(data)  # dcl: disable=DCL011\n"
+        )
+        write_tree(tmp_path, files)
+        report = lint_paths([str(tmp_path)], deep=True)
+        assert "DCL011" not in [v.rule for v in report.violations]
+
+
+# ----------------------------------------------------------------------
+# DCL012 -- ndarray parameter mutation
+# ----------------------------------------------------------------------
+class TestNdarrayMutation:
+    def test_slice_assignment_fires(self):
+        files = {
+            CORE_A: (
+                "import numpy as np\n__all__ = []\n"
+                "def f(member: np.ndarray) -> None:\n"
+                "    member[0] = True\n"
+            )
+        }
+        assert deep_codes(files, ["DCL012"]) == ["DCL012"]
+
+    def test_mutation_through_alias_fires(self):
+        files = {
+            CORE_A: (
+                "import numpy as np\n__all__ = []\n"
+                "def f(member: np.ndarray) -> None:\n"
+                "    view = member[:5]\n"
+                "    view += 1\n"
+            )
+        }
+        assert deep_codes(files, ["DCL012"]) == ["DCL012"]
+
+    def test_mutator_method_and_out_fire(self):
+        files = {
+            CORE_A: (
+                "import numpy as np\n__all__ = []\n"
+                "def f(a: np.ndarray, b: np.ndarray) -> None:\n"
+                "    a.sort()\n"
+                "    np.add(b, 1, out=b)\n"
+            )
+        }
+        assert deep_codes(files, ["DCL012"]) == ["DCL012", "DCL012"]
+
+    def test_copy_kills_the_alias(self):
+        files = {
+            CORE_A: (
+                "import numpy as np\n__all__ = []\n"
+                "def f(member: np.ndarray) -> np.ndarray:\n"
+                "    member = member.copy()\n"
+                "    member[0] = True\n"
+                "    return member\n"
+            )
+        }
+        assert deep_codes(files, ["DCL012"]) == []
+
+    def test_state_class_exemption_is_cross_module(self):
+        # The *State class lives in another module: a per-file rule
+        # could not know the annotation names a state-owning class.
+        files = {
+            CORE_B: (
+                "__all__ = ['MiningState']\n"
+                "class MiningState:\n"
+                "    def __init__(self):\n"
+                "        self.buffers = {}\n"
+            ),
+            CORE_A: (
+                "import numpy as np\n"
+                "from .beta import MiningState\n__all__ = []\n"
+                "def step(state: MiningState, member: np.ndarray) -> None:\n"
+                "    member[0] = True\n"
+            ),
+        }
+        violations, _ = deep_lint(files, all_deep_rules(["DCL012"]))
+        assert [v.rule for v in violations] == ["DCL012"]
+        assert "'member'" in violations[0].message
+
+    def test_self_owned_buffers_are_exempt(self):
+        files = {
+            CORE_A: (
+                "__all__ = ['State']\n"
+                "class State:\n"
+                "    def toggle(self, index):\n"
+                "        self.member[index] = not self.member[index]\n"
+            )
+        }
+        assert deep_codes(files, ["DCL012"]) == []
+
+    def test_path_scoping_outside_core(self):
+        files = {
+            OTHER_A: (
+                "import numpy as np\n__all__ = []\n"
+                "def f(member: np.ndarray) -> None:\n"
+                "    member[0] = True\n"
+            )
+        }
+        assert deep_codes(files, ["DCL012"]) == []
+
+    def test_line_level_suppression(self, tmp_path):
+        files = {
+            CORE_A: (
+                "import numpy as np\n__all__ = []\n"
+                "def f(member: np.ndarray) -> None:\n"
+                "    member[0] = True  # dcl: disable=DCL012\n"
+            )
+        }
+        write_tree(tmp_path, files)
+        report = lint_paths([str(tmp_path)], deep=True)
+        assert "DCL012" not in [v.rule for v in report.violations]
+
+
+# ----------------------------------------------------------------------
+# DCL013 -- float equality in core
+# ----------------------------------------------------------------------
+class TestFloatEquality:
+    def test_float_literal_fires(self):
+        files = {
+            CORE_A: (
+                "__all__ = []\n"
+                "def f(x):\n    return x == 0.5\n"
+            )
+        }
+        assert deep_codes(files, ["DCL013"]) == ["DCL013"]
+
+    def test_nan_and_float_call_fire(self):
+        files = {
+            CORE_A: (
+                "import numpy as np\n__all__ = []\n"
+                "def f(x):\n"
+                "    return x != np.nan or x == float('1.5')\n"
+            )
+        }
+        # Two comparisons on the line -> two findings.
+        assert deep_codes(files, ["DCL013"]) == ["DCL013", "DCL013"]
+
+    def test_float_return_across_modules_fires(self):
+        # The operand's floatness lives in another module's return
+        # annotation -- invisible to a single-file rule.
+        files = {
+            CORE_B: (
+                "__all__ = ['residue']\n"
+                "def residue(sub) -> float:\n    return 0.0\n"
+            ),
+            CORE_A: (
+                "from .beta import residue\n__all__ = []\n"
+                "def is_best(sub, best):\n"
+                "    return residue(sub) == best\n"
+            ),
+        }
+        violations, _ = deep_lint(files, all_deep_rules(["DCL013"]))
+        assert [v.rule for v in violations] == ["DCL013"]
+        assert violations[0].path == CORE_A
+        assert "repro.core.beta.residue" in violations[0].message
+
+    def test_integer_comparison_is_clean(self):
+        files = {
+            CORE_A: (
+                "__all__ = []\n"
+                "def f(x):\n    return x == 5 and x != 'a'\n"
+            )
+        }
+        assert deep_codes(files, ["DCL013"]) == []
+
+    def test_path_scoping_outside_core(self):
+        files = {
+            OTHER_A: (
+                "__all__ = []\n"
+                "def f(x):\n    return x == 0.5\n"
+            )
+        }
+        assert deep_codes(files, ["DCL013"]) == []
+
+    def test_line_level_suppression(self, tmp_path):
+        files = {
+            CORE_A: (
+                "__all__ = []\n"
+                "def f(x):\n"
+                "    return x == 0.5  # dcl: disable=DCL013\n"
+            )
+        }
+        write_tree(tmp_path, files)
+        report = lint_paths([str(tmp_path)], deep=True)
+        assert "DCL013" not in [v.rule for v in report.violations]
+
+
+# ----------------------------------------------------------------------
+# Engine / registry / real tree
+# ----------------------------------------------------------------------
+class TestDeepEngine:
+    def test_deep_registry_is_complete(self):
+        assert [cls.code for cls in DEEP_RULES] == [
+            "DCL010", "DCL011", "DCL012", "DCL013",
+        ]
+
+    def test_list_rules_includes_deep(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("DCL010", "DCL011", "DCL012", "DCL013"):
+            assert code in out
+        assert "(deep)" in out
+
+    def test_select_deep_code_runs_only_that_rule(self, tmp_path, capsys):
+        write_tree(tmp_path, TestTransitiveWallClock.FILES)
+        status = main(
+            [str(tmp_path), "--deep", "--select", "DCL010",
+             "--format", "json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert status == 1
+        assert payload["rule_counts"] == {"DCL010": 1}
+
+    def test_real_tree_is_deep_clean(self):
+        report = lint_paths([str(SRC)], deep=True)
+        assert report.violations == []
+        assert report.parse_errors == []
+        assert report.deep_stats is not None
+        assert report.deep_stats["functions"] > 400
+        stats = report.deep_stats["unresolved_calls"]
+        assert stats["total"] > 0  # conservatism is visible, not silent
+        assert report.suppression_warnings == []
+        assert report.stale_suppressions == []
+
+    def test_deep_json_runs_are_byte_identical(self):
+        cmd = [
+            sys.executable, "-m", "repro.devtools.lint",
+            str(SRC), "--deep", "--format", "json",
+        ]
+        runs = [
+            subprocess.run(
+                cmd,
+                capture_output=True,
+                cwd=str(REPO_ROOT),
+                env={
+                    "PYTHONPATH": str(SRC),
+                    "PATH": "/usr/bin:/bin",
+                    # Different hash seeds must not change the report.
+                    "PYTHONHASHSEED": seed,
+                },
+            )
+            for seed in ("0", "424242")
+        ]
+        assert runs[0].returncode == 0, runs[0].stdout + runs[0].stderr
+        assert runs[0].stdout == runs[1].stdout
+        payload = json.loads(runs[0].stdout)
+        assert payload["deep"]["unresolved_calls"]["total"] > 0
+        assert payload["rule_counts"] == {}
+
+    def test_cli_deep_subcommand(self):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["lint", "--deep", str(SRC)]) == 0
+
+    def test_cli_call_graph_subcommand(self, capsys):
+        from repro.cli import main as cli_main
+
+        status = cli_main(
+            ["lint", "--call-graph", "mine_delta_clusters", str(SRC)]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "repro.core.mining.mine_delta_clusters" in out
+        assert "repro.core.rng.resolve_rng [rng]" in out

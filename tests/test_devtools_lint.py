@@ -567,6 +567,112 @@ class TestSuppression:
 
 
 # ----------------------------------------------------------------------
+# Suppression validation (malformed / unknown / stale) and strict mode
+# ----------------------------------------------------------------------
+class TestSuppressionValidation:
+    VIOLATING = "import numpy as np\n__all__ = []\nnp.random.seed(0)\n"
+
+    def test_malformed_code_warns_instead_of_silently_ignoring(self, tmp_path):
+        mod = tmp_path / "m.py"
+        mod.write_text(
+            "import numpy as np\n__all__ = []\n"
+            "np.random.seed(0)  # dcl: disable=DCL01\n"
+        )
+        report = lint_paths([str(mod)])
+        # The malformed code does not suppress...
+        assert [v.rule for v in report.violations] == ["DCL001"]
+        # ...and is surfaced as a warning, not dropped on the floor.
+        assert [w.kind for w in report.suppression_warnings] == [
+            "malformed-code"
+        ]
+        assert report.suppression_warnings[0].code == "DCL01"
+
+    def test_valid_codes_beside_malformed_still_apply(self, tmp_path):
+        mod = tmp_path / "m.py"
+        mod.write_text(
+            "import numpy as np\n__all__ = []\n"
+            "np.random.seed(0)  # dcl: disable=DCL01,DCL001\n"
+        )
+        report = lint_paths([str(mod)])
+        assert report.violations == []
+        assert [w.code for w in report.suppression_warnings] == ["DCL01"]
+
+    def test_unknown_rule_code_warns(self, tmp_path):
+        mod = tmp_path / "m.py"
+        mod.write_text("__all__ = []\nx = 1  # dcl: disable=DCL999\n")
+        report = lint_paths([str(mod)])
+        assert [w.kind for w in report.suppression_warnings] == [
+            "unknown-code"
+        ]
+
+    def test_stale_line_suppression_is_detected(self, tmp_path):
+        mod = tmp_path / "m.py"
+        mod.write_text("__all__ = []\nx = 1  # dcl: disable=DCL001\n")
+        report = lint_paths([str(mod)])
+        assert [w.kind for w in report.stale_suppressions] == ["stale"]
+        assert report.stale_suppressions[0].code == "DCL001"
+
+    def test_live_suppression_is_not_stale(self, tmp_path):
+        mod = tmp_path / "m.py"
+        mod.write_text(
+            "import numpy as np\n__all__ = []\n"
+            "np.random.seed(0)  # dcl: disable=DCL001\n"
+        )
+        report = lint_paths([str(mod)])
+        assert report.stale_suppressions == []
+
+    def test_file_level_suppressions_are_exempt_from_staleness(
+        self, tmp_path
+    ):
+        # The repro.core.rng precedent: a file-level directive
+        # sanctions a seam and may outlive any individual firing line.
+        mod = tmp_path / "m.py"
+        mod.write_text("# dcl: disable=DCL001\n__all__ = []\nx = 1\n")
+        report = lint_paths([str(mod)])
+        assert report.stale_suppressions == []
+
+    def test_directives_inside_strings_are_ignored(self, tmp_path):
+        mod = tmp_path / "m.py"
+        mod.write_text(
+            '"""Docs show the syntax: # dcl: disable=DCL001 ..."""\n'
+            "import numpy as np\n__all__ = []\n"
+            "np.random.seed(0)\n"
+        )
+        report = lint_paths([str(mod)])
+        # The docstring neither suppresses nor produces stale warnings.
+        assert [v.rule for v in report.violations] == ["DCL001"]
+        assert report.stale_suppressions == []
+
+    def test_strict_flag_fails_on_warnings(self, tmp_path, capsys):
+        mod = tmp_path / "m.py"
+        mod.write_text("__all__ = []\nx = 1  # dcl: disable=DCL01\n")
+        assert main([str(mod)]) == 0
+        capsys.readouterr()
+        assert main([str(mod), "--strict-suppressions"]) == 1
+        assert "malformed" in capsys.readouterr().err
+
+    def test_strict_flag_fails_on_stale(self, tmp_path, capsys):
+        mod = tmp_path / "m.py"
+        mod.write_text("__all__ = []\nx = 1  # dcl: disable=DCL005\n")
+        assert main([str(mod)]) == 0
+        capsys.readouterr()
+        assert main([str(mod), "--strict-suppressions"]) == 1
+        assert "stale" in capsys.readouterr().err
+
+    def test_json_carries_warning_and_count_fields(self, tmp_path, capsys):
+        mod = tmp_path / "m.py"
+        mod.write_text(
+            "import numpy as np\n__all__ = []\nnp.random.seed(0)\n"
+        )
+        main([str(mod), "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rule_counts"] == {"DCL001": 1}
+        assert payload["suppression_warnings"] == []
+        assert payload["stale_suppressions"] == []
+        assert payload["deep"] is None
+
+
+# ----------------------------------------------------------------------
 # Engine / CLI behaviour
 # ----------------------------------------------------------------------
 class TestEngine:
