@@ -185,3 +185,107 @@ def test_exporter_sink_write_cost_within_budget(report):
         f"worst exporter sink costs {100 * worst_fraction:.2f}% of a "
         f"standard run (budget: 5%)"
     )
+
+
+def _serialized(result):
+    """Canonical bytes for a pooled mining result (parity contract)."""
+    import json
+
+    payload = {
+        "clustering": [[list(c.rows), list(c.cols)]
+                       for c in result.clustering],
+        "histories": [run.history for run in result.runs],
+        "initial_residues": [run.initial_residue for run in result.runs],
+    }
+    return json.dumps(payload, sort_keys=True)
+
+
+def test_supervised_session_tracing_overhead_and_parity(report):
+    """Session tracing on the supervised runtime: < 5% and bit-identical.
+
+    Same reconstruction style as the single-process tests, applied to
+    the cross-process path (PR 10): an untraced supervised run sets the
+    budget baseline; a traced run (``session_trace=True``) provides the
+    real shard record counts; one durable ``flush_every=1`` shard write
+    is micro-timed; and the charge  (records x unit write cost)  must
+    stay under 5% of the untraced run.  The traced run's pooled result
+    must also serialize bit-identically to the untraced run's --
+    telemetry and trace shards are observation, never input.
+    """
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from repro.data.synthetic import generate_embedded
+    from repro.obs.sinks import read_jsonl
+    from repro.obs.session import TRACES_DIRNAME
+    from repro.runtime import RunConfig, run_supervised
+
+    dataset = generate_embedded(
+        120, 24, 3, cluster_shape=(18, 8), noise=1.0, rng=0
+    )
+    matrix = dataset.matrix
+    config = RunConfig(
+        residue_target=2.0, n_restarts=4, root_seed=9, k=4,
+        max_iterations=12, min_volume=16, workers=2, max_retries=0,
+    )
+    scratch = Path(tempfile.mkdtemp(prefix="bench-session-trace-"))
+    try:
+        def untraced_run():
+            run_dir = scratch / "untraced"
+            shutil.rmtree(run_dir, ignore_errors=True)
+            return run_supervised(matrix, config, run_dir=run_dir)
+
+        untraced, run_time = None, float("inf")
+        for __ in range(3):
+            started = time.perf_counter()
+            out = untraced_run()
+            elapsed = time.perf_counter() - started
+            if elapsed < run_time:
+                untraced, run_time = out, elapsed
+        assert untraced.ok
+
+        traced = run_supervised(
+            matrix, config, run_dir=scratch / "traced", session_trace=True
+        )
+        assert traced.ok
+
+        # Parity: shard-writing workers compute the identical result.
+        assert _serialized(traced.result) == _serialized(untraced.result)
+
+        # Real record counts from the shards the traced run wrote.
+        traces = traced.run_dir / TRACES_DIRNAME
+        shard_records = sum(
+            len(read_jsonl(shard))
+            for shard in traces.glob("trace_*.jsonl")
+            if shard.name != "trace_session.jsonl"
+        )
+
+        # Unit cost of one durable shard write (flush_every=1, the
+        # worker configuration) at a representative record size.
+        record = {
+            "type": "action", "kind": "row", "index": 17, "cluster": 3,
+            "is_removal": False, "gain": 1.25, "restart": 0, "attempt": 0,
+            "ts": 0.123456, "seq": 42,
+        }
+        sink = JsonlSink(scratch / "unit.jsonl", flush_every=1)
+        write_cost = _unit_cost(lambda: sink.write(record), reps=20_000)
+        sink.close()
+
+        overhead = shard_records * write_cost
+        fraction = overhead / run_time
+        report("overhead_session_tracing", "\n".join([
+            "supervised session-tracing overhead reconstruction",
+            f"untraced supervised run : {run_time * 1e3:9.2f} ms",
+            f"shard records written   : {shard_records:9d} x "
+            f"{write_cost * 1e6:6.2f} us",
+            f"reconstructed overhead  : {overhead * 1e3:9.3f} ms "
+            f"({100 * fraction:.2f}% of the run)",
+            "traced == untraced      : bit-identical pooled results",
+        ]))
+        assert fraction < 0.05, (
+            f"session tracing costs {100 * fraction:.2f}% of an untraced "
+            f"supervised run (budget: 5%)"
+        )
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)

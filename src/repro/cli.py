@@ -20,7 +20,9 @@ settings::
 from __future__ import annotations
 
 import argparse
+import io
 import json
+import shutil
 import sys
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
@@ -38,8 +40,15 @@ from .obs import (
     Tracer,
     WorkCounters,
 )
-from .obs.analysis import TraceAnalysis, analyze_trace, diff_traces
-from .obs.sinks import read_jsonl
+from .obs.analysis import (
+    DEFAULT_STRAGGLER_FACTOR,
+    TraceAnalysis,
+    analyze_trace,
+    diff_traces,
+)
+from .obs.export import chrome_trace
+from .obs.session import collect_session
+from .obs.sinks import OtlpJsonSink, read_jsonl
 from .data.io import (
     load_clusters,
     load_matrix_csv,
@@ -59,6 +68,7 @@ __all__ = [
     "cmd_bench",
     "cmd_diff_traces",
     "cmd_evaluate",
+    "cmd_export_trace",
     "cmd_generate",
     "cmd_lint",
     "cmd_mine",
@@ -79,10 +89,17 @@ def _load_matrix(path: str) -> DataMatrix:
 # ----------------------------------------------------------------------
 # Subcommands
 # ----------------------------------------------------------------------
-def _build_tracer(args: argparse.Namespace) -> Optional[Tracer]:
-    """Tracer for ``mine`` per the --trace/--progress/--metrics flags."""
+def _build_tracer(
+    args: argparse.Namespace, supervised: bool = False
+) -> Optional[Tracer]:
+    """Tracer for ``mine`` per the --trace/--progress/--metrics flags.
+
+    Supervised runs skip the plain ``--trace`` JSONL sink: the session
+    trace machinery records the supervisor shard itself, and the merged
+    session trace is copied to the ``--trace`` path afterwards.
+    """
     sinks: List[Sink] = []
-    if getattr(args, "trace", None):
+    if getattr(args, "trace", None) and not supervised:
         sinks.append(JsonlSink(args.trace))
     if getattr(args, "progress", False):
         sinks.append(ConsoleProgressSink())
@@ -144,7 +161,7 @@ def _cmd_mine_supervised(
     """The fault-tolerant path: ``mine`` under :mod:`repro.runtime`."""
     from .runtime import RunConfig, resume_run, run_supervised
 
-    kwargs: Dict[str, Any] = {}
+    kwargs: Dict[str, Any] = {"session_trace": bool(args.trace)}
     if tracer is not None:
         kwargs["tracer"] = tracer
     if args.resume:
@@ -178,6 +195,10 @@ def _cmd_mine_supervised(
         runtime_result = run_supervised(
             matrix, config, run_dir=args.run_dir, **kwargs,
         )
+    if args.trace and runtime_result.session_trace is not None:
+        # The merged cross-process session trace stands in for the plain
+        # JSONL trace a non-supervised run would have written here.
+        shutil.copyfile(runtime_result.session_trace, args.trace)
     if runtime_result.skipped:
         print(f"resumed: {len(runtime_result.skipped)} restart(s) already "
               f"checkpointed, {len(runtime_result.executed)} executed")
@@ -206,13 +227,13 @@ def cmd_mine(args: argparse.Namespace) -> int:
     some restarts were lost after exhausting retries.
     """
     matrix = _load_matrix(args.matrix)
-    tracer = _build_tracer(args)
     supervised = (
         args.workers is not None
         or args.task_timeout is not None
         or args.run_dir is not None
         or args.resume
     )
+    tracer = _build_tracer(args, supervised=supervised)
     # --metrics also turns on work counting so the perf.* counters show
     # up in the metrics table (counting is inert: --out is unchanged).
     work = WorkCounters() if args.metrics else None
@@ -434,6 +455,67 @@ def _print_analysis(analysis: TraceAnalysis, top_slots: int) -> None:
             precision=5,
         ))
 
+    if analysis.waves:
+        rows = [
+            [w.index, w.completed, w.failed, w.retries, w.faults,
+             w.median_elapsed_s, w.max_elapsed_s, w.stragglers]
+            for w in analysis.waves
+        ]
+        print()
+        print(format_table(
+            rows,
+            headers=["wave", "done", "failed", "retries", "faults",
+                     "median_s", "max_s", "stragglers"],
+            title="wave timeline",
+            precision=4,
+        ))
+
+    stragglers = analysis.stragglers
+    if stragglers:
+        rows = [
+            [t.restart, t.attempt, t.wave, t.elapsed_s]
+            for t in stragglers
+        ]
+        print()
+        print(format_table(
+            rows,
+            headers=["restart", "attempt", "wave", "seconds"],
+            title=f"stragglers ({len(stragglers)} task(s) beyond the "
+                  "wave-median budget)",
+            precision=4,
+        ))
+
+    if analysis.resources:
+        rows = [
+            [r.restart, r.attempt, r.max_rss_kb, r.user_cpu_s, r.sys_cpu_s]
+            for r in analysis.resources
+        ]
+        print()
+        print(format_table(
+            rows,
+            headers=["restart", "attempt", "max_rss_kb",
+                     "user_cpu_s", "sys_cpu_s"],
+            title="worker resource telemetry",
+            precision=4,
+        ))
+
+    if analysis.processes:
+        rows = [
+            [
+                p.name,
+                p.n_records,
+                ", ".join(f"{kind}={count}"
+                          for kind, count in sorted(p.event_counts.items())),
+            ]
+            for p in analysis.processes
+        ]
+        print()
+        print(format_table(
+            rows,
+            headers=["process", "records", "events"],
+            title="per-process activity",
+        ))
+
     for warning in analysis.warnings:
         print(f"\nwarning: {warning}", file=sys.stderr)
 
@@ -444,7 +526,11 @@ def cmd_analyze_trace(args: argparse.Namespace) -> int:
         print(f"no such trace file: {args.trace}", file=sys.stderr)
         return 2
     try:
-        analysis = analyze_trace(args.trace, strict=args.strict)
+        analysis = analyze_trace(
+            args.trace,
+            strict=args.strict,
+            straggler_factor=args.straggler_factor,
+        )
     except ValueError as exc:
         print(f"malformed trace: {exc}", file=sys.stderr)
         return 2
@@ -452,6 +538,67 @@ def cmd_analyze_trace(args: argparse.Namespace) -> int:
         print(json.dumps(analysis.to_dict(), sort_keys=True, indent=2))
     else:
         _print_analysis(analysis, top_slots=args.top_slots)
+    return 0
+
+
+def _load_trace_source(args: argparse.Namespace) -> Optional[List[Dict[str, object]]]:
+    """Load records from a trace file or a run directory with shards.
+
+    A directory source is merged in-memory via
+    :func:`~repro.obs.session.collect_session` (session meta first); a
+    file source is read as plain JSONL.  Returns ``None`` (after
+    printing to stderr) when the source does not exist.
+    """
+    source = Path(args.source)
+    if source.is_dir():
+        meta, records = collect_session(source)
+        skipped = meta.get("skipped_shards")
+        if isinstance(skipped, list) and skipped:
+            names = ", ".join(str(name) for name in sorted(skipped))
+            print(f"warning: {len(skipped)} unreadable shard(s) skipped: "
+                  f"{names}", file=sys.stderr)
+        return [meta] + records
+    if source.is_file():
+        skipped_lines: List[int] = []
+        records = read_jsonl(source, skipped=skipped_lines)
+        if skipped_lines:
+            print(f"warning: {len(skipped_lines)} corrupt line(s) skipped",
+                  file=sys.stderr)
+        return records
+    print(f"no such trace file or run directory: {args.source}",
+          file=sys.stderr)
+    return None
+
+
+def cmd_export_trace(args: argparse.Namespace) -> int:
+    """Render a session trace as Chrome trace-event JSON, OTLP, or JSONL."""
+    records = _load_trace_source(args)
+    if records is None:
+        return 2
+    if args.format == "chrome":
+        text = json.dumps(chrome_trace(records), sort_keys=True) + "\n"
+    elif args.format == "otlp":
+        buffer = io.StringIO()
+        sink = OtlpJsonSink(buffer)
+        try:
+            for record in records:
+                if record.get("type") in ("trace_meta", "session_meta"):
+                    continue
+                sink.write(record)
+        finally:
+            sink.close()
+        text = buffer.getvalue()
+    else:  # jsonl
+        text = "".join(
+            json.dumps(record, sort_keys=True) + "\n" for record in records
+        )
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text, encoding="utf-8")
+        print(f"{args.format} trace written to {out}")
+    else:
+        sys.stdout.write(text)
     return 0
 
 
@@ -712,7 +859,30 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--top-slots", type=int, default=3, metavar="N",
                          help="gain histograms for the N busiest "
                               "(kind, cluster) slots (default 3)")
+    analyze.add_argument("--straggler-factor", type=float,
+                         default=DEFAULT_STRAGGLER_FACTOR, metavar="X",
+                         help="a task is a straggler when it runs longer "
+                              "than X times its wave's median "
+                              f"(default {DEFAULT_STRAGGLER_FACTOR})")
     analyze.set_defaults(func=cmd_analyze_trace)
+
+    export = sub.add_parser(
+        "export-trace",
+        help="render a session trace as Chrome trace-event JSON or OTLP",
+    )
+    export.add_argument(
+        "source",
+        help="a merged session trace (JSONL file) or a run directory "
+             "whose traces/ shards are merged in-memory",
+    )
+    export.add_argument("--format", choices=("chrome", "otlp", "jsonl"),
+                        default="chrome",
+                        help="chrome: trace-event JSON (Perfetto/"
+                             "chrome://tracing); otlp: OTLP/JSON LogsData; "
+                             "jsonl: merged records (default chrome)")
+    export.add_argument("--out", metavar="PATH",
+                        help="write to PATH instead of stdout")
+    export.set_defaults(func=cmd_export_trace)
 
     diff = sub.add_parser(
         "diff-traces",

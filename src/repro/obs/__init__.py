@@ -14,8 +14,14 @@ requested:
 * :mod:`repro.obs.sinks` -- ring buffer, JSONL writer, console
   progress reporter, and the statsd / OTLP-JSON exporter sinks;
 * :mod:`repro.obs.analysis` -- trace analytics: typed per-sweep /
-  per-cluster / per-slot aggregates over recorded traces, plus
+  per-cluster / per-slot aggregates over recorded traces, wave/task
+  timelines with straggler detection for runtime traces, plus
   twinned-run diffing (``repro analyze-trace`` / ``repro diff-traces``);
+* :mod:`repro.obs.session` -- cross-process session traces for the
+  supervised runtime: per-process JSONL shards, clock alignment, and
+  the byte-deterministic merge;
+* :mod:`repro.obs.export` -- Chrome trace-event / OTLP renderings of
+  merged session traces (``repro export-trace``);
 * :mod:`repro.obs.profiling` -- the ``@profiled`` decorator on the core
   residue/action primitives plus a wall/CPU report;
 * :mod:`repro.obs.perf` -- the deterministic work-counter cost model
@@ -30,11 +36,15 @@ from .analysis import (
     ClusterStats,
     GainHistogram,
     IterationDelta,
+    ProcessStats,
+    ResourceStats,
     SessionAnalysis,
     SlotStats,
     SweepStats,
+    TaskRun,
     TraceAnalysis,
     TraceDiff,
+    WaveStats,
     analyze_records,
     analyze_trace,
     diff_traces,
@@ -44,12 +54,14 @@ from .events import (
     ActionEvent,
     FaultEvent,
     IterationEvent,
+    ResourceEvent,
     RetryEvent,
     SeedEvent,
     TaskEvent,
     TraceEvent,
     event_fields,
 )
+from .export import chrome_trace, export_chrome, export_otlp
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .perf import (
     WORK_COUNTER_FIELDS,
@@ -65,6 +77,15 @@ from .profiling import (
     profiled,
     profiling_enabled,
     reset_profile,
+)
+from .session import (
+    SessionTrace,
+    TraceContext,
+    collect_session,
+    merge_session,
+    open_worker_tracer,
+    session_id_for,
+    worker_shard_path,
 )
 from .sinks import (
     ConsoleProgressSink,
@@ -95,34 +116,49 @@ __all__ = [
     "MetricsRegistry",
     "NULL_TRACER",
     "OtlpJsonSink",
+    "ProcessStats",
+    "ResourceEvent",
+    "ResourceStats",
     "RetryEvent",
     "RingBufferSink",
     "SeedEvent",
     "SessionAnalysis",
+    "SessionTrace",
     "Sink",
     "SlotStats",
     "Span",
     "StatsdSink",
     "SweepStats",
     "TaskEvent",
+    "TaskRun",
     "TraceAnalysis",
+    "TraceContext",
     "TraceDiff",
     "TraceEvent",
     "Tracer",
     "WORK_COUNTER_FIELDS",
+    "WaveStats",
     "WorkCounters",
     "analyze_records",
     "analyze_trace",
+    "chrome_trace",
+    "collect_session",
     "diff_traces",
     "disable_profiling",
     "enable_profiling",
     "environment_fingerprint",
     "event_fields",
+    "export_chrome",
+    "export_otlp",
     "git_revision",
+    "merge_session",
+    "open_worker_tracer",
     "profile_report",
     "profile_snapshot",
     "profiled",
     "profiling_enabled",
     "read_jsonl",
     "reset_profile",
+    "session_id_for",
+    "worker_shard_path",
 ]

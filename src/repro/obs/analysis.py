@@ -38,6 +38,7 @@ calls for.
 
 from __future__ import annotations
 
+import statistics
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -46,11 +47,16 @@ from .events import EVENT_TYPES
 from .sinks import read_jsonl
 
 __all__ = [
+    "DEFAULT_STRAGGLER_FACTOR",
     "GainHistogram",
     "SlotStats",
     "ClusterStats",
     "SweepStats",
     "SessionAnalysis",
+    "TaskRun",
+    "WaveStats",
+    "ProcessStats",
+    "ResourceStats",
     "TraceAnalysis",
     "IterationDelta",
     "TraceDiff",
@@ -62,8 +68,15 @@ __all__ = [
 Record = Dict[str, object]
 
 #: Context keys outer layers push onto the tracer; together they
-#: identify one FLOC run inside a shared multi-run trace.
-_SESSION_KEYS: Tuple[str, ...] = ("trial", "restart")
+#: identify one FLOC run inside a shared multi-run trace.  ``attempt``
+#: joins for merged session traces: a retried restart's attempts are
+#: distinct executions and must analyze as separate sessions (their
+#: sweep streams would otherwise interleave into nonsense).
+_SESSION_KEYS: Tuple[str, ...] = ("trial", "restart", "attempt")
+
+#: Default straggler threshold: a completed task is flagged when its
+#: elapsed time exceeds this multiple of its wave's median.
+DEFAULT_STRAGGLER_FACTOR = 2.0
 
 #: Number of buckets in the shared-edge gain histograms.
 _GAIN_BINS = 8
@@ -269,6 +282,99 @@ class SessionAnalysis:
 
 
 @dataclass
+class TaskRun:
+    """One terminal supervised-task attempt (completed or failed)."""
+
+    restart: int
+    attempt: int
+    wave: int
+    status: str
+    elapsed_s: float
+    error: Optional[str] = None
+    is_straggler: bool = False
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "restart": self.restart,
+            "attempt": self.attempt,
+            "wave": self.wave,
+            "status": self.status,
+            "elapsed_s": self.elapsed_s,
+            "error": self.error,
+            "is_straggler": self.is_straggler,
+        }
+
+
+@dataclass
+class WaveStats:
+    """Timeline entry for one supervisor wave."""
+
+    index: int
+    completed: int = 0
+    failed: int = 0
+    retries: int = 0
+    faults: int = 0
+    median_elapsed_s: float = 0.0
+    max_elapsed_s: float = 0.0
+    stragglers: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "completed": self.completed,
+            "failed": self.failed,
+            "retries": self.retries,
+            "faults": self.faults,
+            "median_elapsed_s": self.median_elapsed_s,
+            "max_elapsed_s": self.max_elapsed_s,
+            "stragglers": self.stragglers,
+        }
+
+
+@dataclass
+class ProcessStats:
+    """Per-process aggregate of a merged session trace.
+
+    Only populated when records carry a ``process`` key (i.e. the trace
+    came through :func:`repro.obs.session.collect_session`); plain
+    single-process traces leave the list empty.
+    """
+
+    name: str
+    n_records: int = 0
+    event_counts: Dict[str, int] = field(default_factory=dict)
+    span_s: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "n_records": self.n_records,
+            "event_counts": dict(self.event_counts),
+            "span_s": dict(self.span_s),
+        }
+
+
+@dataclass
+class ResourceStats:
+    """One worker's rusage report (``resource`` event)."""
+
+    restart: int
+    attempt: int
+    max_rss_kb: float
+    user_cpu_s: float
+    sys_cpu_s: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "restart": self.restart,
+            "attempt": self.attempt,
+            "max_rss_kb": self.max_rss_kb,
+            "user_cpu_s": self.user_cpu_s,
+            "sys_cpu_s": self.sys_cpu_s,
+        }
+
+
+@dataclass
 class TraceAnalysis:
     """The full typed aggregate of one trace; see the module docstring."""
 
@@ -279,6 +385,10 @@ class TraceAnalysis:
     slots: List[SlotStats]
     spans: Dict[str, Dict[str, float]]
     warnings: List[str]
+    tasks: List[TaskRun] = field(default_factory=list)
+    waves: List[WaveStats] = field(default_factory=list)
+    resources: List[ResourceStats] = field(default_factory=list)
+    processes: List[ProcessStats] = field(default_factory=list)
 
     @property
     def n_sweeps(self) -> int:
@@ -287,6 +397,11 @@ class TraceAnalysis:
     @property
     def n_actions(self) -> int:
         return self.event_counts.get("action", 0)
+
+    @property
+    def stragglers(self) -> List[TaskRun]:
+        """Completed tasks that overshot their wave's straggler bound."""
+        return [task for task in self.tasks if task.is_straggler]
 
     def to_dict(self) -> Dict[str, object]:
         """Plain nested dict; serialize with ``sort_keys=True`` for a
@@ -300,6 +415,11 @@ class TraceAnalysis:
             "slots": [slot.to_dict() for slot in self.slots],
             "spans": {name: dict(agg) for name, agg in self.spans.items()},
             "warnings": list(self.warnings),
+            "tasks": [task.to_dict() for task in self.tasks],
+            "waves": [wave.to_dict() for wave in self.waves],
+            "stragglers": [task.to_dict() for task in self.stragglers],
+            "resources": [res.to_dict() for res in self.resources],
+            "processes": [proc.to_dict() for proc in self.processes],
         }
 
 
@@ -326,7 +446,10 @@ def _sort_token(value: object) -> Tuple[int, float, str]:
     return (2, 0.0, str(value))
 
 
-def analyze_records(records: Sequence[Record]) -> TraceAnalysis:
+def analyze_records(
+    records: Sequence[Record],
+    straggler_factor: float = DEFAULT_STRAGGLER_FACTOR,
+) -> TraceAnalysis:
     """Aggregate an in-memory record stream into a :class:`TraceAnalysis`.
 
     The stream is consumed in order: ``action`` (and emitted ``span``)
@@ -334,8 +457,16 @@ def analyze_records(records: Sequence[Record]) -> TraceAnalysis:
     ``iteration`` record closes the sweep.  Actions after the final
     ``iteration`` of a session (an interrupted run) are reported as
     ``dangling_actions`` rather than dropped silently.
+
+    Supervised-runtime streams additionally aggregate into a wave
+    timeline (:class:`WaveStats`), terminal task attempts
+    (:class:`TaskRun`) with straggler flagging -- a completed task whose
+    elapsed time exceeds ``straggler_factor`` times its wave's median,
+    over waves with at least two completions -- worker resource reports
+    (:class:`ResourceStats`), and, for merged session traces, per-process
+    record/span aggregates (:class:`ProcessStats`).
     """
-    known_types = set(EVENT_TYPES) | {"span"}
+    known_types = set(EVENT_TYPES) | {"span", "trace_meta", "session_meta"}
     event_counts: Dict[str, int] = {}
     sessions: Dict[Tuple[object, ...], SessionAnalysis] = {}
     pending_actions: Dict[Tuple[object, ...], List[Record]] = {}
@@ -345,6 +476,11 @@ def analyze_records(records: Sequence[Record]) -> TraceAnalysis:
     slot_gains: Dict[Tuple[str, int], List[float]] = {}
     span_agg: Dict[str, Dict[str, float]] = {}
     warnings: List[str] = []
+    tasks: List[TaskRun] = []
+    wave_retries: Dict[int, int] = {}
+    wave_faults: Dict[int, int] = {}
+    resources: List[ResourceStats] = []
+    process_stats: Dict[str, ProcessStats] = {}
 
     def session(key: Tuple[object, ...]) -> SessionAnalysis:
         found = sessions.get(key)
@@ -358,6 +494,19 @@ def analyze_records(records: Sequence[Record]) -> TraceAnalysis:
             warnings.append(f"record without a string 'type' key: {record!r}")
             continue
         event_counts[kind] = event_counts.get(kind, 0) + 1
+        process = record.get("process")
+        if isinstance(process, str):
+            proc = process_stats.get(process)
+            if proc is None:
+                proc = process_stats[process] = ProcessStats(name=process)
+            proc.n_records += 1
+            proc.event_counts[kind] = proc.event_counts.get(kind, 0) + 1
+            if kind == "span":
+                span_name = str(record.get("name", ""))
+                proc.span_s[span_name] = (
+                    proc.span_s.get(span_name, 0.0)
+                    + _as_float(record.get("elapsed_s"))
+                )
         key = _session_key(record)
         session(key)
 
@@ -465,6 +614,36 @@ def analyze_records(records: Sequence[Record]) -> TraceAnalysis:
                 )
             session(key).sweeps.append(sweep)
 
+        elif kind == "task":
+            status = str(record.get("status", ""))
+            if status in ("completed", "failed"):
+                error = record.get("error")
+                tasks.append(TaskRun(
+                    restart=_as_int(record.get("restart")),
+                    attempt=_as_int(record.get("attempt")),
+                    wave=_as_int(record.get("wave"), default=-1),
+                    status=status,
+                    elapsed_s=_as_float(record.get("elapsed_s")),
+                    error=None if error is None else str(error),
+                ))
+
+        elif kind == "retry":
+            wave = _as_int(record.get("wave"), default=-1)
+            wave_retries[wave] = wave_retries.get(wave, 0) + 1
+
+        elif kind == "fault":
+            wave = _as_int(record.get("wave"), default=-1)
+            wave_faults[wave] = wave_faults.get(wave, 0) + 1
+
+        elif kind == "resource":
+            resources.append(ResourceStats(
+                restart=_as_int(record.get("restart")),
+                attempt=_as_int(record.get("attempt")),
+                max_rss_kb=_as_float(record.get("max_rss_kb")),
+                user_cpu_s=_as_float(record.get("user_cpu_s")),
+                sys_cpu_s=_as_float(record.get("sys_cpu_s")),
+            ))
+
         elif kind not in known_types:
             # Unknown event types are counted but otherwise ignored, so
             # traces from newer emitters still analyze.
@@ -497,6 +676,34 @@ def analyze_records(records: Sequence[Record]) -> TraceAnalysis:
     ]
     ordered_clusters = [clusters[c] for c in sorted(clusters)]
     ordered_slots = [slots[k] for k in sorted(slots)]
+
+    # Wave timeline + straggler flags from the terminal task attempts.
+    tasks.sort(key=lambda t: (t.wave, t.restart, t.attempt))
+    waves: List[WaveStats] = []
+    wave_indices = sorted(
+        {task.wave for task in tasks} | set(wave_retries) | set(wave_faults)
+    )
+    for index in wave_indices:
+        wave_tasks = [t for t in tasks if t.wave == index]
+        done = [t for t in wave_tasks if t.status == "completed"]
+        elapsed = [t.elapsed_s for t in done]
+        median = statistics.median(elapsed) if elapsed else 0.0
+        if len(done) >= 2 and median > 0.0:
+            for task in done:
+                if task.elapsed_s > straggler_factor * median:
+                    task.is_straggler = True
+        waves.append(WaveStats(
+            index=index,
+            completed=len(done),
+            failed=sum(1 for t in wave_tasks if t.status == "failed"),
+            retries=wave_retries.get(index, 0),
+            faults=wave_faults.get(index, 0),
+            median_elapsed_s=median,
+            max_elapsed_s=max(elapsed, default=0.0),
+            stragglers=sum(1 for t in done if t.is_straggler),
+        ))
+
+    resources.sort(key=lambda r: (r.restart, r.attempt))
     return TraceAnalysis(
         n_records=len(records),
         event_counts=event_counts,
@@ -505,22 +712,33 @@ def analyze_records(records: Sequence[Record]) -> TraceAnalysis:
         slots=ordered_slots,
         spans={name: span_agg[name] for name in sorted(span_agg)},
         warnings=warnings,
+        tasks=tasks,
+        waves=waves,
+        resources=resources,
+        processes=[
+            process_stats[name] for name in sorted(process_stats)
+        ],
     )
 
 
 def analyze_trace(
-    path: Union[str, Path], strict: bool = False
+    path: Union[str, Path],
+    strict: bool = False,
+    straggler_factor: float = DEFAULT_STRAGGLER_FACTOR,
 ) -> TraceAnalysis:
     """Load a JSONL trace file and aggregate it.
 
     ``strict=False`` (the default) tolerates corrupt lines -- a
     truncated final line from a run interrupted mid-write, or damaged
     interior records -- and reports every skipped line number in
-    ``warnings``; see :func:`repro.obs.sinks.read_jsonl`.
+    ``warnings``; see :func:`repro.obs.sinks.read_jsonl`.  Works on
+    single-process traces and merged session traces alike;
+    ``straggler_factor`` tunes the wave-median multiple past which a
+    completed task is flagged as a straggler.
     """
     skipped: List[int] = []
     records = read_jsonl(str(path), strict=strict, skipped=skipped)
-    analysis = analyze_records(records)
+    analysis = analyze_records(records, straggler_factor=straggler_factor)
     if skipped:
         shown = ", ".join(str(line) for line in skipped[:5])
         if len(skipped) > 5:

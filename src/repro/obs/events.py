@@ -25,6 +25,7 @@ __all__ = [
     "TaskEvent",
     "RetryEvent",
     "FaultEvent",
+    "ResourceEvent",
     "EVENT_TYPES",
     "event_fields",
 ]
@@ -159,6 +160,26 @@ class FaultEvent(TraceEvent):
     attempt: int = 0
 
 
+@dataclass(frozen=True)
+class ResourceEvent(TraceEvent):
+    """Per-task resource telemetry reported by a worker process.
+
+    Emitted once per supervised restart task, right after the restart
+    finishes computing: ``max_rss_kb`` is the process's peak resident
+    set (``resource.getrusage`` units -- kilobytes on Linux), while
+    ``user_cpu_s`` / ``sys_cpu_s`` are the CPU time *deltas* consumed by
+    this task (pool processes are reused, so absolute totals would
+    conflate consecutive tasks).
+    """
+
+    type: str = "resource"
+    restart: int = 0
+    attempt: int = 0
+    max_rss_kb: float = 0.0
+    user_cpu_s: float = 0.0
+    sys_cpu_s: float = 0.0
+
+
 #: Registry: the ``type`` discriminator of every domain event mapped to
 #: its dataclass.  Trace *consumers* (:mod:`repro.obs.analysis`) use it
 #: to tell domain events apart from tracer-internal record types
@@ -170,6 +191,7 @@ EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
     "task": TaskEvent,
     "retry": RetryEvent,
     "fault": FaultEvent,
+    "resource": ResourceEvent,
 }
 
 

@@ -21,7 +21,9 @@ the tracer context); sinks must not mutate them.
 from __future__ import annotations
 
 import json
+import math
 import os
+import re
 import socket
 import sys
 from collections import deque
@@ -306,6 +308,42 @@ class DatagramTransport(Protocol):
         ...  # pragma: no cover - protocol definition
 
 
+#: Characters that corrupt a statsd line-protocol packet when they leak
+#: into a metric *name*: ``:`` separates name from value, ``|`` starts
+#: the type (and sample-rate/tag) sections, and newlines split packets
+#: into multiple metrics.  ``@``/``#`` guard the sample-rate and
+#: dogstatsd-tag extensions; whitespace is folded for hygiene.
+_STATSD_UNSAFE = re.compile(r"[:|@#,\s]+")
+
+
+def _statsd_name(text: str) -> str:
+    """A record-derived name component, made line-protocol safe.
+
+    Every delimiter of the statsd wire format is collapsed to ``_`` so
+    a hostile or merely unlucky name (``"a:b|c"``, an origin with a
+    newline) cannot terminate the value early, inject a second metric,
+    or smuggle a type/sample-rate section.  Empty input maps to ``_``
+    rather than producing a nameless metric.
+    """
+    cleaned = _STATSD_UNSAFE.sub("_", text)
+    return cleaned if cleaned else "_"
+
+
+def _statsd_value(value: object) -> Optional[str]:
+    """Format a numeric value for the wire, or ``None`` to drop it.
+
+    Non-finite floats serialize as ``nan``/``inf`` under ``%g`` --
+    tokens statsd servers reject or, worse, mis-parse -- so they are
+    filtered here rather than corrupting the packet.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    number = float(value)
+    if not math.isfinite(number):
+        return None
+    return f"{number:g}"
+
+
 class StatsdSink(Sink):
     """Export trace records as statsd line-protocol UDP metrics.
 
@@ -327,6 +365,12 @@ class StatsdSink(Sink):
     * ``seed``      -> ``seeds.<origin>:1|c``
     * ``span``      -> ``span.<name>:<t>|ms``
     * anything else -> ``events.<type>:1|c``
+
+    Record-derived name components (event types, seed origins, span
+    names) and the prefix itself are sanitized against the line
+    protocol's delimiters (``:``, ``|``, newlines, ...) and non-finite
+    values are dropped, so no record content can corrupt a packet --
+    see :func:`_statsd_name` / :func:`_statsd_value`.
     """
 
     def __init__(
@@ -337,7 +381,7 @@ class StatsdSink(Sink):
         transport: Optional[DatagramTransport] = None,
     ) -> None:
         self.address = (host, port)
-        self.prefix = prefix
+        self.prefix = _statsd_name(prefix)
         if transport is None:
             self._transport: Optional[DatagramTransport] = socket.socket(
                 socket.AF_INET, socket.SOCK_DGRAM
@@ -359,9 +403,9 @@ class StatsdSink(Sink):
                 "evictions" if record.get("is_removal") else "admissions"
             )
             lines.append(f"{p}.{direction}:1|c")
-            gain = record.get("gain")
-            if isinstance(gain, (int, float)) and not isinstance(gain, bool):
-                lines.append(f"{p}.action_gain:{float(gain):g}|h")
+            gain = _statsd_value(record.get("gain"))
+            if gain is not None:
+                lines.append(f"{p}.action_gain:{gain}|h")
         elif kind == "iteration":
             lines.append(f"{p}.iterations:1|c")
             for name, key, suffix in (
@@ -369,24 +413,28 @@ class StatsdSink(Sink):
                 ("total_volume", "total_volume", "g"),
                 ("sweep_actions", "n_actions", "h"),
             ):
-                value = record.get(key)
-                if isinstance(value, (int, float)) and not isinstance(value, bool):
-                    lines.append(f"{p}.{name}:{float(value):g}|{suffix}")
+                value = _statsd_value(record.get(key))
+                if value is not None:
+                    lines.append(f"{p}.{name}:{value}|{suffix}")
             elapsed = record.get("elapsed_s")
             if isinstance(elapsed, (int, float)) and not isinstance(elapsed, bool):
-                lines.append(f"{p}.sweep_ms:{float(elapsed) * 1e3:g}|ms")
+                sweep_ms = _statsd_value(float(elapsed) * 1e3)
+                if sweep_ms is not None:
+                    lines.append(f"{p}.sweep_ms:{sweep_ms}|ms")
         elif kind == "seed":
-            origin = record.get("origin", "phase1")
+            origin = _statsd_name(str(record.get("origin", "phase1")))
             lines.append(f"{p}.seeds.{origin}:1|c")
         elif kind == "span":
-            name = record.get("name", "unnamed")
+            name = _statsd_name(str(record.get("name", "unnamed")))
             elapsed_s = record.get("elapsed_s")
             if isinstance(elapsed_s, (int, float)) and not isinstance(
                 elapsed_s, bool
             ):
-                lines.append(f"{p}.span.{name}:{float(elapsed_s) * 1e3:g}|ms")
+                span_ms = _statsd_value(float(elapsed_s) * 1e3)
+                if span_ms is not None:
+                    lines.append(f"{p}.span.{name}:{span_ms}|ms")
         else:
-            lines.append(f"{p}.events.{kind}:1|c")
+            lines.append(f"{p}.events.{_statsd_name(str(kind))}:1|c")
         return lines
 
     def write(self, record: Dict[str, object]) -> None:

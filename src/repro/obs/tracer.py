@@ -24,6 +24,13 @@ perturb FLOC's RNG stream.
 All timing goes through :attr:`Tracer.clock` (``time.perf_counter``),
 which is also the clock core code should use instead of importing
 ``time`` directly -- tests substitute a fake clock through it.
+
+Cross-process session traces (:mod:`repro.obs.session`) need a total
+order over records from many processes, so a tracer can additionally
+*stamp* every record it dispatches (``stamp=True``): a monotonic
+``ts`` (the :attr:`clock` reading at emit time) and a per-process
+``seq`` counter.  Stamping never touches the RNG or the mined result;
+it only annotates the records sinks receive.
 """
 
 from __future__ import annotations
@@ -113,6 +120,11 @@ class Tracer:
         Also forward individual span records (``{"type": "span", ...}``)
         to the sinks.  Off by default; span aggregates are always
         available from :meth:`summary`.
+    stamp:
+        Annotate every dispatched record with a monotonic ``ts``
+        (:attr:`clock` at emit time) and a per-process ``seq`` counter,
+        the ordering keys the cross-process session merge
+        (:mod:`repro.obs.session`) aligns and sorts on.
     """
 
     clock = staticmethod(time.perf_counter)
@@ -123,11 +135,14 @@ class Tracer:
         metrics: Optional[MetricsRegistry] = None,
         enabled: bool = True,
         emit_spans: bool = False,
+        stamp: bool = False,
     ) -> None:
         self.sinks: List[Sink] = list(sinks)
         self.metrics = metrics
         self.enabled = enabled
         self.emit_spans = emit_spans
+        self.stamp = stamp
+        self._seq = 0
         self._context: List[Dict[str, object]] = []
         self._merged_context: Dict[str, object] = {}
         self._event_counts: Dict[str, int] = {}
@@ -165,8 +180,16 @@ class Tracer:
                       "elapsed_s": span.elapsed}
             record.update(self._merged_context)
             record.update(span.attrs)
+            if self.stamp:
+                self._stamp(record)
             for sink in self.sinks:
                 sink.write(record)
+
+    def _stamp(self, record: Dict[str, object]) -> None:
+        """Attach the (ts, seq) ordering keys session merges sort on."""
+        record["ts"] = self.clock()
+        record["seq"] = self._seq
+        self._seq += 1
 
     # -- typed events ----------------------------------------------------
     def emit(self, event: TraceEvent) -> None:
@@ -175,6 +198,8 @@ class Tracer:
             return
         record = event.to_dict()
         record.update(self._merged_context)
+        if self.stamp:
+            self._stamp(record)
         kind = record.get("type", "event")
         self._event_counts[kind] = self._event_counts.get(kind, 0) + 1
         for sink in self.sinks:

@@ -69,9 +69,20 @@ def _canonical(obj: object) -> str:
     return json.dumps(obj, sort_keys=True, separators=(",", ":"))
 
 
+#: Record keys excluded from the digest: ``digest`` is the digest
+#: itself, and ``telemetry`` is per-attempt resource measurement
+#: (rusage) -- real observation, but nondeterministic, so it must not
+#: participate in the bit-identity contract the digest enforces.
+_UNDIGESTED_KEYS = frozenset({"digest", "telemetry"})
+
+
 def record_digest(payload: Dict[str, object]) -> str:
-    """sha256 over the canonical JSON of ``payload`` (sans ``digest``)."""
-    body = {k: v for k, v in payload.items() if k != "digest"}
+    """sha256 over the canonical JSON of ``payload``.
+
+    Excludes :data:`_UNDIGESTED_KEYS` so resource telemetry can ride the
+    durable record without breaking resumed-vs-uninterrupted parity.
+    """
+    body = {k: v for k, v in payload.items() if k not in _UNDIGESTED_KEYS}
     return hashlib.sha256(_canonical(body).encode("utf-8")).hexdigest()
 
 

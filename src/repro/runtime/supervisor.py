@@ -56,6 +56,7 @@ import numpy as np
 from ..core.matrix import DataMatrix
 from ..core.mining import MiningResult, pool_mining_results
 from ..obs.events import FaultEvent, RetryEvent, TaskEvent
+from ..obs.session import SessionTrace
 from ..obs.tracer import NULL_TRACER, Tracer
 from .checkpoint import (
     CheckpointError,
@@ -126,6 +127,8 @@ class RuntimeResult:
     executed: List[int] = field(default_factory=list)
     skipped: List[int] = field(default_factory=list)
     degradation: Optional[DegradationReport] = None
+    #: Merged cross-process session trace (``session_trace=True`` runs).
+    session_trace: Optional[Path] = None
 
     @property
     def ok(self) -> bool:
@@ -172,6 +175,17 @@ def _emit_plan_fault(
             return
 
 
+def _observe_telemetry(tracer: Tracer, telemetry: object) -> None:
+    """Surface a completed ack's rusage telemetry as ``runtime.task.*``
+    metrics (no-op when the worker platform had no ``resource``)."""
+    if not isinstance(telemetry, dict):
+        return
+    for key in ("max_rss_kb", "user_cpu_s", "sys_cpu_s"):
+        value = telemetry.get(key)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            tracer.observe(f"runtime.task.{key}", float(value))
+
+
 def _terminate_stragglers(executor: ProcessPoolExecutor) -> None:
     """Hard-stop worker processes that outlived the wave budget.
 
@@ -194,6 +208,7 @@ def _run_wave(
     run_dir: Path,
     wave: List[_Attempt],
     tracer: Tracer,
+    session: Optional[SessionTrace] = None,
 ) -> Dict[int, Optional[str]]:
     """Execute one wave of tasks on a fresh pool.
 
@@ -221,6 +236,12 @@ def _run_wave(
                 "attempt": task.attempt,
                 "run_dir": str(run_dir),
             }
+            if session is not None:
+                # Dispatch-time anchor: the worker pairs this session
+                # clock reading with its own to align shard timestamps.
+                payload["trace"] = session.task_context(
+                    task.restart, task.attempt
+                )
             task.started = clock()
             tracer.emit(TaskEvent(restart=task.restart, status="dispatched",
                                   attempt=task.attempt))
@@ -263,6 +284,7 @@ def _run_wave(
                         attempt=task.attempt, elapsed_s=elapsed))
                     tracer.inc("runtime.ack.digest_ok",
                                int(bool(ack.get("digest"))))
+                    _observe_telemetry(tracer, ack.get("telemetry"))
 
         for future, task in futures.items():
             if task.restart in outcomes:
@@ -291,6 +313,7 @@ def run_supervised(
     tracer: Tracer = NULL_TRACER,
     sleep: SleepFn = time.sleep,
     backoff_base: float = 0.1,
+    session_trace: bool = False,
 ) -> RuntimeResult:
     """Mine ``config.n_restarts`` restarts under supervision.
 
@@ -317,6 +340,13 @@ def run_supervised(
     backoff_base:
         First-retry backoff in seconds; doubles per attempt, with
         multiplicative jitter in ``[0.5, 1.0)``.
+    session_trace:
+        Record a cross-process session trace
+        (:mod:`repro.obs.session`): the supervisor and every worker
+        write durable JSONL shards under ``<run_dir>/traces/``, merged
+        into ``trace_session.jsonl`` on completion
+        (:attr:`RuntimeResult.session_trace`).  Tracing never perturbs
+        mining -- traced runs stay bit-identical to untraced ones.
     """
     if not isinstance(matrix, DataMatrix):
         matrix = DataMatrix(matrix)
@@ -332,81 +362,102 @@ def run_supervised(
     else:
         store = CheckpointStore.create(run_dir, config)
 
-    completed: Set[int] = store.completed_restarts()
-    skipped = sorted(completed)
-    for restart in skipped:
-        tracer.emit(TaskEvent(restart=restart, status="skipped"))
-        tracer.inc("runtime.tasks.skipped")
+    session: Optional[SessionTrace] = None
+    if session_trace:
+        session = SessionTrace.create(run_dir, config.identity())
+        # attach() returns the tracer to use from here on: the caller's
+        # (now also feeding the supervisor shard) or, when the caller's
+        # is disabled, a fresh shard-only tracer -- NULL_TRACER is
+        # shared and must never be mutated.
+        tracer = session.attach(tracer)
 
-    attempts: Dict[int, int] = {
-        i: 0 for i in config.restart_indices() if i not in completed
-    }
-    executed = sorted(attempts)
-    failures: List[TaskFailure] = []
-    backoff_rng = np.random.default_rng(
-        np.random.SeedSequence(config.root_seed,
-                               spawn_key=(BACKOFF_STREAM_KEY,))
-    )
+    try:
+        completed: Set[int] = store.completed_restarts()
+        skipped = sorted(completed)
+        for restart in skipped:
+            tracer.emit(TaskEvent(restart=restart, status="skipped"))
+            tracer.inc("runtime.tasks.skipped")
 
-    pending = sorted(attempts)
-    wave_index = 0
-    while pending:
-        wave = [_Attempt(restart=i, attempt=attempts[i]) for i in pending]
-        # Every task/retry/fault event of this wave carries a `wave`
-        # context key, so live sinks (ConsoleProgressSink) and recorded
-        # traces can show wave-by-wave progress of long sessions.
-        if tracer.enabled:
-            tracer.push_context(wave=wave_index)
-        try:
-            tracer.inc("runtime.waves")
-            outcomes = _run_wave(matrix, config, run_dir, wave, tracer)
-            pending = []
-            wave_backoff = 0.0
-            for restart in sorted(outcomes):
-                error = outcomes[restart]
-                attempt = attempts[restart]
-                if error is None:
-                    # Durability check: re-read the record the worker
-                    # claims to have persisted; a corrupt record demotes
-                    # the task back to failed.
-                    try:
-                        record = store.load_record(restart)
-                    except CheckpointError as exc:
-                        error = f"corrupt: {exc}"
-                    else:
-                        store.mark_done(restart, str(record["digest"]))
-                        completed.add(restart)
-                        tracer.inc("runtime.tasks.completed")
-                        continue
-                kind = error.split(":", 1)[0]
-                tracer.inc("runtime.tasks.failed")
-                tracer.inc(f"runtime.failures.{kind}")
-                _emit_plan_fault(tracer, restart, attempt)
-                if attempt < config.max_retries:
-                    attempts[restart] = attempt + 1
-                    delay = _backoff_delay(backoff_rng, backoff_base, attempt)
-                    wave_backoff = max(wave_backoff, delay)
-                    tracer.emit(RetryEvent(
-                        restart=restart, attempt=attempt, backoff_s=delay,
-                        remaining=config.max_retries - attempt - 1,
-                        error=kind))
-                    tracer.inc("runtime.retries")
-                    pending.append(restart)
-                else:
-                    failures.append(TaskFailure(
-                        restart=restart, attempt=attempt, kind=kind,
-                        error=error))
-        finally:
+        attempts: Dict[int, int] = {
+            i: 0 for i in config.restart_indices() if i not in completed
+        }
+        executed = sorted(attempts)
+        failures: List[TaskFailure] = []
+        backoff_rng = np.random.default_rng(
+            np.random.SeedSequence(config.root_seed,
+                                   spawn_key=(BACKOFF_STREAM_KEY,))
+        )
+
+        pending = sorted(attempts)
+        wave_index = 0
+        while pending:
+            wave = [_Attempt(restart=i, attempt=attempts[i]) for i in pending]
+            # Every task/retry/fault event of this wave carries a `wave`
+            # context key, so live sinks (ConsoleProgressSink) and recorded
+            # traces can show wave-by-wave progress of long sessions.
             if tracer.enabled:
-                tracer.pop_context()
-        wave_index += 1
-        if pending and wave_backoff > 0:
-            sleep(wave_backoff)
-        pending.sort()
+                tracer.push_context(wave=wave_index)
+            try:
+                tracer.inc("runtime.waves")
+                outcomes = _run_wave(matrix, config, run_dir, wave, tracer,
+                                     session)
+                pending = []
+                wave_backoff = 0.0
+                for restart in sorted(outcomes):
+                    error = outcomes[restart]
+                    attempt = attempts[restart]
+                    if error is None:
+                        # Durability check: re-read the record the worker
+                        # claims to have persisted; a corrupt record demotes
+                        # the task back to failed.
+                        try:
+                            record = store.load_record(restart)
+                        except CheckpointError as exc:
+                            error = f"corrupt: {exc}"
+                        else:
+                            store.mark_done(restart, str(record["digest"]))
+                            completed.add(restart)
+                            tracer.inc("runtime.tasks.completed")
+                            continue
+                    kind = error.split(":", 1)[0]
+                    tracer.inc("runtime.tasks.failed")
+                    tracer.inc(f"runtime.failures.{kind}")
+                    _emit_plan_fault(tracer, restart, attempt)
+                    if attempt < config.max_retries:
+                        attempts[restart] = attempt + 1
+                        delay = _backoff_delay(backoff_rng, backoff_base,
+                                               attempt)
+                        wave_backoff = max(wave_backoff, delay)
+                        tracer.emit(RetryEvent(
+                            restart=restart, attempt=attempt, backoff_s=delay,
+                            remaining=config.max_retries - attempt - 1,
+                            error=kind))
+                        tracer.inc("runtime.retries")
+                        pending.append(restart)
+                    else:
+                        failures.append(TaskFailure(
+                            restart=restart, attempt=attempt, kind=kind,
+                            error=error))
+            finally:
+                if tracer.enabled:
+                    tracer.pop_context()
+            wave_index += 1
+            if pending and wave_backoff > 0:
+                sleep(wave_backoff)
+            pending.sort()
 
-    return _finalize(matrix, config, store, tracer,
-                     executed=[i for i in executed if i in completed],
-                     skipped=skipped, failures=failures)
+        outcome = _finalize(matrix, config, store, tracer,
+                            executed=[i for i in executed if i in completed],
+                            skipped=skipped, failures=failures)
+    finally:
+        if session is not None:
+            session.detach()
+
+    if session is not None:
+        # Merge after detach so the supervisor shard is closed/durable;
+        # merging the same shards is byte-deterministic.
+        outcome.session_trace = session.merge()
+    return outcome
 
 
 def _finalize(
@@ -472,6 +523,7 @@ def resume_run(
     tracer: Tracer = NULL_TRACER,
     sleep: SleepFn = time.sleep,
     backoff_base: float = 0.1,
+    session_trace: bool = False,
 ) -> RuntimeResult:
     """Resume a checkpointed session from its run directory.
 
@@ -479,6 +531,9 @@ def resume_run(
     schedule-only knobs (``workers`` / ``task_timeout`` /
     ``max_retries``) may be overridden -- identity fields are pinned by
     the manifest, so a resume cannot silently change the session.
+    ``session_trace`` resumes trace collection too: the resumed
+    supervisor writes a generation-suffixed shard and the merge spans
+    every generation of the session.
     """
     store = CheckpointStore.open(run_dir)
     config = store.config
@@ -495,4 +550,5 @@ def resume_run(
         matrix, config,
         run_dir=run_dir, resume=True,
         tracer=tracer, sleep=sleep, backoff_base=backoff_base,
+        session_trace=session_trace,
     )

@@ -14,6 +14,17 @@ Fault hooks (:func:`repro.runtime.faults.inject`) run at worker start,
 around the checkpoint write, and at worker end -- keyed off the
 ``REPRO_FAULT_PLAN`` environment variable, which child processes
 inherit.
+
+Session tracing: when the payload carries a ``trace`` context
+(:class:`~repro.obs.session.TraceContext` dict, attached by the
+supervisor for ``--trace`` runs), the restart executes under a real
+tracer backed by this worker's durable JSONL shard
+(:func:`~repro.obs.session.open_worker_tracer`), and the worker samples
+``resource.getrusage`` around the restart -- peak RSS plus user/sys CPU
+*deltas*, since pool processes are reused -- reporting the telemetry in
+both the shard (:class:`~repro.obs.events.ResourceEvent`) and the
+durable record/ack (digest-exempt: telemetry is nondeterministic
+observation, never part of the restart's identity).
 """
 
 from __future__ import annotations
@@ -23,10 +34,18 @@ import os
 from pathlib import Path
 from typing import Dict, Optional, Union
 
+try:  # pragma: no cover - resource is stdlib on every POSIX platform
+    import resource
+except ImportError:  # pragma: no cover - e.g. Windows
+    resource = None  # type: ignore[assignment]
+
 from ..core.matrix import DataMatrix
 from ..core.mining import run_restart
 from ..data.io import write_json_atomic
+from ..obs.events import ResourceEvent
 from ..obs.perf.counters import WorkCounters
+from ..obs.session import open_worker_tracer
+from ..obs.tracer import NULL_TRACER, Tracer
 from .checkpoint import record_digest, result_to_record
 from .config import RunConfig
 from .faults import FaultSpec, inject
@@ -65,15 +84,37 @@ def _write_record(
     os.replace(tmp, path)
 
 
+def _rusage_telemetry(
+    before: Optional["resource.struct_rusage"],
+) -> Optional[Dict[str, float]]:
+    """Peak RSS + CPU-time deltas for the restart that just finished.
+
+    ``ru_maxrss`` is a high-water mark (absolute, kilobytes on Linux);
+    CPU times are deltas against the pre-restart snapshot because pool
+    processes are reused across tasks.  Returns ``None`` where the
+    ``resource`` module is unavailable.
+    """
+    if resource is None or before is None:
+        return None
+    after = resource.getrusage(resource.RUSAGE_SELF)
+    return {
+        "max_rss_kb": float(after.ru_maxrss),
+        "user_cpu_s": round(after.ru_utime - before.ru_utime, 6),
+        "sys_cpu_s": round(after.ru_stime - before.ru_stime, 6),
+    }
+
+
 def execute_restart_task(payload: TaskPayload) -> Dict[str, object]:
     """Run one restart, persist its record, and return a small ack.
 
     ``payload`` keys: ``matrix`` (:class:`DataMatrix`), ``config``
-    (:meth:`RunConfig.to_dict` output), ``restart``, ``attempt``, and
-    ``run_dir``.  The ack is ``{"restart", "attempt", "digest"}`` --
-    the record itself is read back from disk by the supervisor, which
-    both verifies durability and keeps the pooled result byte-identical
-    between uninterrupted and resumed runs.
+    (:meth:`RunConfig.to_dict` output), ``restart``, ``attempt``,
+    ``run_dir``, and optionally ``trace`` (a session
+    :class:`~repro.obs.session.TraceContext` dict).  The ack is
+    ``{"restart", "attempt", "digest"}`` plus ``telemetry`` when rusage
+    is available -- the record itself is read back from disk by the
+    supervisor, which both verifies durability and keeps the pooled
+    result byte-identical between uninterrupted and resumed runs.
     """
     restart = int(payload["restart"])  # type: ignore[arg-type]
     attempt = int(payload["attempt"])  # type: ignore[arg-type]
@@ -82,37 +123,70 @@ def execute_restart_task(payload: TaskPayload) -> Dict[str, object]:
     if not isinstance(matrix, DataMatrix):
         matrix = DataMatrix(matrix)
     run_dir = Path(str(payload["run_dir"]))
+    trace_ctx = payload.get("trace")
 
-    inject("worker_start", restart, attempt)
+    tracer: Tracer = NULL_TRACER
+    if isinstance(trace_ctx, dict):
+        tracer = open_worker_tracer(run_dir, trace_ctx, restart, attempt)
+    try:
+        inject("worker_start", restart, attempt)
 
-    # Supervised restarts always count work: counting never changes the
-    # result, and the counters ride the checkpoint record so resumed and
-    # uninterrupted sessions report identical totals for free.
-    work = WorkCounters()
-    result = run_restart(
-        matrix,
-        restart,
-        residue_target=config.residue_target,
-        root_seed=config.root_seed,
-        k=config.k,
-        min_rows=config.min_rows,
-        min_cols=config.min_cols,
-        alpha=config.alpha,
-        p=config.p,
-        reseed_rounds=config.reseed_rounds,
-        ordering=config.ordering,
-        gain_mode=config.gain_mode,
-        max_iterations=config.max_iterations,
-        work=work,
-    )
+        rusage_before = (
+            resource.getrusage(resource.RUSAGE_SELF)
+            if resource is not None
+            else None
+        )
 
-    record = result_to_record(restart, result)
-    corrupt = inject("checkpoint", restart, attempt)
-    _write_record(run_dir, restart, record, corrupt)
+        # Supervised restarts always count work: counting never changes
+        # the result, and the counters ride the checkpoint record so
+        # resumed and uninterrupted sessions report identical totals for
+        # free.
+        work = WorkCounters()
+        result = run_restart(
+            matrix,
+            restart,
+            residue_target=config.residue_target,
+            root_seed=config.root_seed,
+            k=config.k,
+            min_rows=config.min_rows,
+            min_cols=config.min_cols,
+            alpha=config.alpha,
+            p=config.p,
+            reseed_rounds=config.reseed_rounds,
+            ordering=config.ordering,
+            gain_mode=config.gain_mode,
+            max_iterations=config.max_iterations,
+            tracer=tracer,
+            work=work,
+        )
 
-    inject("worker_end", restart, attempt)
-    return {
-        "restart": restart,
-        "attempt": attempt,
-        "digest": record_digest(record),
-    }
+        telemetry = _rusage_telemetry(rusage_before)
+
+        # Telemetry is attached *after* the digest is computed inside
+        # result_to_record and is digest-exempt (see record_digest), so
+        # the record still verifies and pooled results stay bit-exact.
+        record = result_to_record(restart, result)
+        if telemetry is not None:
+            record["telemetry"] = telemetry
+            if tracer.enabled:
+                tracer.emit(ResourceEvent(
+                    restart=restart,
+                    attempt=attempt,
+                    max_rss_kb=telemetry["max_rss_kb"],
+                    user_cpu_s=telemetry["user_cpu_s"],
+                    sys_cpu_s=telemetry["sys_cpu_s"],
+                ))
+        corrupt = inject("checkpoint", restart, attempt)
+        _write_record(run_dir, restart, record, corrupt)
+
+        inject("worker_end", restart, attempt)
+        ack: Dict[str, object] = {
+            "restart": restart,
+            "attempt": attempt,
+            "digest": record_digest(record),
+        }
+        if telemetry is not None:
+            ack["telemetry"] = telemetry
+        return ack
+    finally:
+        tracer.close()

@@ -410,3 +410,119 @@ class TestRuntimeTraces:
             analyze_trace(runtime_trace).to_dict(), sort_keys=True
         )
         assert first == second
+
+
+class TestWaveTimeline:
+    """Multi-process aggregation: waves, stragglers, resources, processes."""
+
+    def _task(self, restart, status, wave, elapsed, attempt=0, **extra):
+        return {"type": "task", "restart": restart, "attempt": attempt,
+                "status": status, "wave": wave, "elapsed_s": elapsed,
+                **extra}
+
+    def test_wave_stats_and_straggler_flag(self):
+        records = [
+            self._task(0, "completed", 0, 1.0),
+            self._task(1, "completed", 0, 1.2),
+            self._task(2, "completed", 0, 5.0),  # > 2x median of wave 0
+            self._task(3, "completed", 1, 2.0),
+            self._task(4, "failed", 1, 0.5, error="Boom"),
+            {"type": "retry", "restart": 4, "wave": 1},
+            {"type": "fault", "restart": 4, "wave": 1, "site": "worker_start",
+             "kind": "error"},
+        ]
+        analysis = analyze_records(records)
+        assert [w.index for w in analysis.waves] == [0, 1]
+        wave0, wave1 = analysis.waves
+        assert (wave0.completed, wave0.failed) == (3, 0)
+        assert wave0.median_elapsed_s == pytest.approx(1.2)
+        assert wave0.max_elapsed_s == pytest.approx(5.0)
+        assert wave0.stragglers == 1
+        assert (wave1.completed, wave1.failed) == (1, 1)
+        assert (wave1.retries, wave1.faults) == (1, 1)
+        assert wave1.stragglers == 0  # single completion: no baseline
+        stragglers = analysis.stragglers
+        assert [t.restart for t in stragglers] == [2]
+        assert stragglers[0].is_straggler
+        failed = [t for t in analysis.tasks if t.status == "failed"]
+        assert failed[0].error == "Boom"
+
+    def test_straggler_factor_configurable(self):
+        records = [
+            self._task(0, "completed", 0, 1.0),
+            self._task(1, "completed", 0, 1.5),
+            self._task(2, "completed", 0, 2.0),
+        ]
+        relaxed = analyze_records(records)  # default factor 2.0: 2.0 < 3.0
+        assert relaxed.stragglers == []
+        strict = analyze_records(records, straggler_factor=1.1)
+        assert [t.restart for t in strict.stragglers] == [2]
+
+    def test_dispatched_and_skipped_tasks_not_timeline_entries(self):
+        records = [
+            self._task(0, "dispatched", 0, 0.0),
+            self._task(0, "completed", 0, 1.0),
+            self._task(1, "skipped", 0, 0.0),
+        ]
+        analysis = analyze_records(records)
+        assert [t.status for t in analysis.tasks] == ["completed"]
+
+    def test_resources_collected_and_sorted(self):
+        records = [
+            {"type": "resource", "restart": 1, "attempt": 0,
+             "max_rss_kb": 2000.0, "user_cpu_s": 0.5, "sys_cpu_s": 0.1},
+            {"type": "resource", "restart": 0, "attempt": 1,
+             "max_rss_kb": 1000.0, "user_cpu_s": 0.2, "sys_cpu_s": 0.05},
+        ]
+        analysis = analyze_records(records)
+        assert [(r.restart, r.attempt) for r in analysis.resources] == [
+            (0, 1), (1, 0),
+        ]
+        assert analysis.resources[0].max_rss_kb == 1000.0
+
+    def test_per_process_stats_from_merged_trace(self):
+        records = [
+            {"type": "session_meta", "schema": 1, "session": "s",
+             "processes": ["supervisor", "worker:00000:00"]},
+            {"type": "task", "process": "supervisor", "status": "completed",
+             "restart": 0, "wave": 0, "elapsed_s": 1.0},
+            {"type": "seed", "process": "worker:00000:00", "cluster": 0},
+            {"type": "span", "process": "worker:00000:00",
+             "name": "phase1_seeding", "elapsed_s": 0.25},
+        ]
+        analysis = analyze_records(records)
+        assert [p.name for p in analysis.processes] == [
+            "supervisor", "worker:00000:00",
+        ]
+        supervisor, worker = analysis.processes
+        assert supervisor.n_records == 1
+        assert supervisor.event_counts == {"task": 1}
+        assert worker.n_records == 2
+        assert worker.span_s == {"phase1_seeding": 0.25}
+        assert analysis.warnings == []
+
+    def test_to_dict_exposes_timeline_sections(self):
+        records = [
+            self._task(0, "completed", 0, 1.0),
+            self._task(1, "completed", 0, 1.0),
+            self._task(2, "completed", 0, 5.0),
+        ]
+        payload = analyze_records(records).to_dict()
+        assert payload["schema"] == 1
+        assert [w["index"] for w in payload["waves"]] == [0]
+        assert [t["restart"] for t in payload["stragglers"]] == [2]
+        assert payload["tasks"][0]["status"] == "completed"
+        assert payload["resources"] == []
+        assert payload["processes"] == []
+
+    def test_plain_single_process_trace_has_empty_timeline(self):
+        records = [
+            {"type": "seed", "cluster": 0},
+            {"type": "iteration", "index": 0, "residue": 1.0,
+             "total_volume": 10, "n_actions": 0, "improved": True,
+             "elapsed_s": 0.1},
+        ]
+        analysis = analyze_records(records)
+        assert analysis.tasks == []
+        assert analysis.waves == []
+        assert analysis.resources == []

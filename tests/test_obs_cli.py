@@ -200,3 +200,85 @@ class TestDiffTracesCommand:
             "diff-traces", str(trace_path), "/no/such/b.jsonl",
         ]) == 2
         assert "no such trace file" in capsys.readouterr().err
+
+
+class TestExportTraceCommand:
+    @pytest.fixture(scope="class")
+    def session_run(self, matrix_path, tmp_path_factory):
+        """A tiny supervised traced run: (run_dir, merged trace path)."""
+        base = tmp_path_factory.mktemp("export_cli")
+        run_dir = base / "run"
+        trace = base / "trace.jsonl"
+        code = main([
+            "mine", str(matrix_path), *MINE_ARGS,
+            "--workers", "2", "--run-dir", str(run_dir),
+            "--trace", str(trace),
+        ])
+        assert code == 0
+        return run_dir, trace
+
+    def test_supervised_trace_is_a_merged_session(self, session_run):
+        _run_dir, trace = session_run
+        records = read_jsonl(trace)
+        assert records[0]["type"] == "session_meta"
+        processes = records[0]["processes"]
+        assert "supervisor" in processes
+        assert any(name.startswith("worker:") for name in processes)
+
+    def test_chrome_export_schema_and_monotonic_ts(
+        self, session_run, tmp_path, capsys
+    ):
+        _run_dir, trace = session_run
+        out = tmp_path / "chrome.json"
+        assert main(["export-trace", str(trace), "--out", str(out)]) == 0
+        assert "chrome trace written to" in capsys.readouterr().out
+        doc = json.loads(out.read_text())
+        assert sorted(doc.keys()) == [
+            "displayTimeUnit", "otherData", "traceEvents",
+        ]
+        assert doc["traceEvents"]
+        stamped = [e["ts"] for e in doc["traceEvents"] if e["ph"] != "M"]
+        assert stamped == sorted(stamped)
+        assert all(ts >= 0.0 for ts in stamped)
+
+    def test_chrome_export_deterministic_across_runs(
+        self, session_run, tmp_path
+    ):
+        _run_dir, trace = session_run
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["export-trace", str(trace), "--out", str(a)]) == 0
+        assert main(["export-trace", str(trace), "--out", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_run_dir_source_matches_merged_file(
+        self, session_run, tmp_path
+    ):
+        run_dir, trace = session_run
+        from_dir = tmp_path / "dir.jsonl"
+        assert main(["export-trace", str(run_dir), "--format", "jsonl",
+                     "--out", str(from_dir)]) == 0
+        assert from_dir.read_bytes() == trace.read_bytes()
+
+    def test_otlp_export(self, session_run, tmp_path):
+        _run_dir, trace = session_run
+        out = tmp_path / "logs.json"
+        assert main(["export-trace", str(trace), "--format", "otlp",
+                     "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        log_records = (
+            payload["resourceLogs"][0]["scopeLogs"][0]["logRecords"]
+        )
+        assert log_records
+        bodies = {r["body"]["stringValue"] for r in log_records}
+        assert "iteration" in bodies
+
+    def test_missing_source_is_usage_error(self, tmp_path, capsys):
+        code = main(["export-trace", str(tmp_path / "nope.jsonl")])
+        assert code == 2
+        assert "no such trace" in capsys.readouterr().err
+
+    def test_stdout_default(self, session_run, capsys):
+        _run_dir, trace = session_run
+        assert main(["export-trace", str(trace)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert "traceEvents" in doc

@@ -1,0 +1,329 @@
+"""Tests for repro.obs.session: cross-process trace shards + merge."""
+
+import json
+
+import pytest
+
+from repro.obs.events import IterationEvent, SeedEvent, TaskEvent
+from repro.obs.session import (
+    SESSION_TRACE_FILENAME,
+    TRACE_SCHEMA,
+    TRACES_DIRNAME,
+    SessionTrace,
+    TraceContext,
+    collect_session,
+    merge_session,
+    open_worker_tracer,
+    session_id_for,
+    worker_shard_path,
+)
+from repro.obs.sinks import RingBufferSink
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+
+def _write_shard(path, meta, records):
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = [json.dumps(meta)] + [json.dumps(r) for r in records]
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def _meta(process, anchor_local, anchor_session, session="abc123"):
+    return {
+        "type": "trace_meta",
+        "schema": TRACE_SCHEMA,
+        "session": session,
+        "process": process,
+        "clock_anchor_local": anchor_local,
+        "clock_anchor_session": anchor_session,
+    }
+
+
+class TestSessionId:
+    def test_deterministic(self, tmp_path):
+        identity = {"root_seed": 5, "k": 2}
+        a = session_id_for(identity, tmp_path)
+        b = session_id_for({"k": 2, "root_seed": 5}, tmp_path)
+        assert a == b
+        assert len(a) == 16
+        int(a, 16)  # hex
+
+    def test_varies_with_identity_and_run_dir(self, tmp_path):
+        base = session_id_for({"root_seed": 5}, tmp_path)
+        assert session_id_for({"root_seed": 6}, tmp_path) != base
+        assert session_id_for({"root_seed": 5}, tmp_path / "other") != base
+
+
+class TestTraceContext:
+    def test_round_trip(self):
+        ctx = TraceContext(session="s", parent_span="task:3:0",
+                           anchor_session=1.25)
+        assert TraceContext.from_dict(ctx.to_dict()) == ctx
+
+    def test_missing_fields_default(self):
+        ctx = TraceContext.from_dict({})
+        assert ctx.session == ""
+        assert ctx.anchor_session == 0.0
+
+    @pytest.mark.parametrize("anchor", ["soon", None, True, [1.0]])
+    def test_non_numeric_anchor_rejected(self, anchor):
+        with pytest.raises(ValueError, match="anchor_session"):
+            TraceContext.from_dict({"anchor_session": anchor})
+
+
+class TestWorkerShard:
+    def test_shard_path_naming(self, tmp_path):
+        path = worker_shard_path(tmp_path, 3, 1)
+        assert path == tmp_path / TRACES_DIRNAME / "trace_worker_00003_01.jsonl"
+
+    def test_open_worker_tracer_writes_meta_first(self, tmp_path):
+        ctx = TraceContext(session="s1", parent_span="task:7:0",
+                           anchor_session=0.5)
+        tracer = open_worker_tracer(tmp_path, ctx, 7, 0)
+        tracer.emit(SeedEvent(cluster=0))
+        # flush_every=1: the shard is tailable before close.
+        lines = worker_shard_path(tmp_path, 7, 0).read_text().splitlines()
+        tracer.close()
+        meta = json.loads(lines[0])
+        assert meta["type"] == "trace_meta"
+        assert meta["schema"] == TRACE_SCHEMA
+        assert meta["session"] == "s1"
+        assert meta["process"] == "worker:00007:00"
+        assert meta["parent_span"] == "task:7:0"
+        assert meta["clock_anchor_session"] == 0.5
+        assert isinstance(meta["clock_anchor_local"], float)
+        event = json.loads(lines[1])
+        assert event["type"] == "seed"
+        # Stamped and contextualised for the merge.
+        assert event["seq"] == 0
+        assert isinstance(event["ts"], float)
+        assert event["restart"] == 7
+        assert event["attempt"] == 0
+
+    def test_accepts_context_dict(self, tmp_path):
+        tracer = open_worker_tracer(
+            tmp_path, {"session": "s2", "parent_span": "task:0:0",
+                       "anchor_session": 0.0}, 0, 0)
+        tracer.close()
+        meta = json.loads(
+            worker_shard_path(tmp_path, 0, 0).read_text().splitlines()[0])
+        assert meta["session"] == "s2"
+
+
+class TestSessionTraceLifecycle:
+    def test_attach_with_disabled_tracer_leaves_null_tracer_alone(
+        self, tmp_path
+    ):
+        session = SessionTrace.create(tmp_path, {"root_seed": 1})
+        tracer = session.attach(NULL_TRACER)
+        try:
+            assert tracer is not NULL_TRACER
+            assert tracer.enabled
+            assert tracer.stamp
+            assert NULL_TRACER.sinks == []
+            assert NULL_TRACER.stamp is False
+            assert not NULL_TRACER.enabled
+        finally:
+            session.detach()
+
+    def test_attach_detach_restores_enabled_tracer(self, tmp_path):
+        ring = RingBufferSink()
+        tracer = Tracer(sinks=[ring])
+        session = SessionTrace.create(tmp_path, {"root_seed": 1})
+        attached = session.attach(tracer)
+        assert attached is tracer
+        assert tracer.stamp
+        assert len(tracer.sinks) == 2
+        tracer.emit(TaskEvent(restart=0, status="dispatched"))
+        session.detach()
+        assert tracer.sinks == [ring]
+        assert tracer.stamp is False
+        # The shard received the event alongside the original sink.
+        shard = tmp_path / TRACES_DIRNAME / "trace_supervisor.jsonl"
+        types = [json.loads(line)["type"]
+                 for line in shard.read_text().splitlines()]
+        assert types == ["trace_meta", "task"]
+        assert len(ring.records) == 1
+
+    def test_supervisor_shard_generations(self, tmp_path):
+        traces = tmp_path / TRACES_DIRNAME
+        for expected_name, expected_process in (
+            ("trace_supervisor.jsonl", "supervisor"),
+            ("trace_supervisor_01.jsonl", "supervisor:01"),
+            ("trace_supervisor_02.jsonl", "supervisor:02"),
+        ):
+            session = SessionTrace.create(tmp_path, {"root_seed": 1})
+            session.attach(NULL_TRACER)
+            session.detach()
+            meta = json.loads(
+                (traces / expected_name).read_text().splitlines()[0])
+            assert meta["process"] == expected_process
+        # "." sorts before "_", so generation order survives sorted glob.
+        names = sorted(p.name for p in traces.glob("trace_supervisor*.jsonl"))
+        assert names == ["trace_supervisor.jsonl",
+                         "trace_supervisor_01.jsonl",
+                         "trace_supervisor_02.jsonl"]
+
+    def test_task_context_uses_session_time(self, tmp_path):
+        session = SessionTrace.create(tmp_path, {"root_seed": 1})
+        session.attach(NULL_TRACER)
+        try:
+            ctx = TraceContext.from_dict(session.task_context(3, 1))
+            assert ctx.session == session.session_id
+            assert ctx.parent_span == "task:3:1"
+            assert 0.0 <= ctx.anchor_session < 60.0
+        finally:
+            session.detach()
+
+
+class TestCollectSession:
+    def test_clock_alignment_across_processes(self, tmp_path):
+        traces = tmp_path / TRACES_DIRNAME
+        # Supervisor clock reads 100.0 at session time 0.
+        _write_shard(
+            traces / "trace_supervisor.jsonl",
+            _meta("supervisor", 100.0, 0.0),
+            [{"type": "task", "status": "dispatched", "ts": 100.5, "seq": 0}],
+        )
+        # Worker clock reads 50.0 when the session clock reads 0.2.
+        _write_shard(
+            traces / "trace_worker_00000_00.jsonl",
+            _meta("worker:00000:00", 50.0, 0.2),
+            [{"type": "seed", "ts": 50.1, "seq": 0}],
+        )
+        meta, records = collect_session(tmp_path)
+        assert meta["session"] == "abc123"
+        assert meta["processes"] == ["supervisor", "worker:00000:00"]
+        assert meta["n_records"] == 2
+        assert meta["skipped_shards"] == []
+        assert meta["corrupt_lines"] == {}
+        # Worker event at session time 0.3 sorts before supervisor 0.5.
+        assert [r["type"] for r in records] == ["seed", "task"]
+        assert records[0]["ts"] == pytest.approx(0.3)
+        assert records[0]["process"] == "worker:00000:00"
+        assert records[1]["ts"] == pytest.approx(0.5)
+
+    def test_ties_broken_by_process_then_seq(self, tmp_path):
+        traces = tmp_path / TRACES_DIRNAME
+        _write_shard(
+            traces / "trace_supervisor.jsonl",
+            _meta("supervisor", 0.0, 0.0),
+            [{"type": "task", "ts": 1.0, "seq": 1},
+             {"type": "task", "ts": 1.0, "seq": 0}],
+        )
+        _write_shard(
+            traces / "trace_worker_00000_00.jsonl",
+            _meta("worker:00000:00", 0.0, 0.0),
+            [{"type": "seed", "ts": 1.0, "seq": 0}],
+        )
+        _, records = collect_session(tmp_path)
+        assert [(r["process"], r["seq"]) for r in records] == [
+            ("supervisor", 0), ("supervisor", 1), ("worker:00000:00", 0),
+        ]
+
+    def test_unstamped_record_falls_back_to_anchor(self, tmp_path):
+        traces = tmp_path / TRACES_DIRNAME
+        _write_shard(
+            traces / "trace_worker_00000_00.jsonl",
+            _meta("worker:00000:00", 10.0, 0.75),
+            [{"type": "seed"}],
+        )
+        _, records = collect_session(tmp_path)
+        assert records[0]["ts"] == pytest.approx(0.75)
+        assert records[0]["seq"] == 0
+
+    def test_metaless_shard_skipped_not_fatal(self, tmp_path):
+        traces = tmp_path / TRACES_DIRNAME
+        _write_shard(
+            traces / "trace_supervisor.jsonl",
+            _meta("supervisor", 0.0, 0.0),
+            [{"type": "task", "ts": 1.0, "seq": 0}],
+        )
+        bad = traces / "trace_worker_00001_00.jsonl"
+        bad.write_text('{"type": "seed", "ts": 1.0}\n', encoding="utf-8")
+        meta, records = collect_session(tmp_path)
+        assert meta["skipped_shards"] == ["trace_worker_00001_00.jsonl"]
+        assert [r["type"] for r in records] == ["task"]
+
+    def test_truncated_final_line_skipped_and_reported(self, tmp_path):
+        traces = tmp_path / TRACES_DIRNAME
+        shard = traces / "trace_worker_00000_00.jsonl"
+        _write_shard(
+            shard,
+            _meta("worker:00000:00", 0.0, 0.0),
+            [{"type": "seed", "ts": 1.0, "seq": 0}],
+        )
+        # Simulate a worker killed mid-write: partial trailing line.
+        with shard.open("a", encoding="utf-8") as handle:
+            handle.write('{"type": "iter')
+        meta, records = collect_session(tmp_path)
+        assert meta["corrupt_lines"] == {"trace_worker_00000_00.jsonl": [3]}
+        assert [r["type"] for r in records] == ["seed"]
+
+    def test_empty_traces_dir(self, tmp_path):
+        (tmp_path / TRACES_DIRNAME).mkdir()
+        meta, records = collect_session(tmp_path)
+        assert records == []
+        assert meta["processes"] == []
+        assert meta["n_records"] == 0
+
+
+class TestMergeSession:
+    def _populate(self, tmp_path):
+        traces = tmp_path / TRACES_DIRNAME
+        _write_shard(
+            traces / "trace_supervisor.jsonl",
+            _meta("supervisor", 100.0, 0.0),
+            [{"type": "task", "status": "dispatched", "ts": 100.1, "seq": 0},
+             {"type": "task", "status": "completed", "ts": 100.9, "seq": 1}],
+        )
+        _write_shard(
+            traces / "trace_worker_00000_00.jsonl",
+            _meta("worker:00000:00", 7.0, 0.15),
+            [{"type": "seed", "ts": 7.05, "seq": 0},
+             {"type": "iteration", "ts": 7.5, "seq": 1}],
+        )
+
+    def test_merge_layout_and_determinism(self, tmp_path):
+        self._populate(tmp_path)
+        out_a = merge_session(tmp_path, tmp_path / "a.jsonl")
+        out_b = merge_session(tmp_path, tmp_path / "b.jsonl")
+        assert out_a.read_bytes() == out_b.read_bytes()
+        lines = out_a.read_text().splitlines()
+        head = json.loads(lines[0])
+        assert head["type"] == "session_meta"
+        assert head["n_records"] == 4
+        types = [json.loads(line)["type"] for line in lines[1:]]
+        assert types == ["task", "seed", "iteration", "task"]
+        # Sorted keys on every line.
+        for line in lines:
+            payload = json.loads(line)
+            assert line == json.dumps(payload, sort_keys=True)
+
+    def test_default_output_path(self, tmp_path):
+        self._populate(tmp_path)
+        out = merge_session(tmp_path)
+        assert out == tmp_path / TRACES_DIRNAME / SESSION_TRACE_FILENAME
+        assert out.is_file()
+
+    def test_end_to_end_in_process(self, tmp_path):
+        """Supervisor + simulated worker tracers merge into one session."""
+        session = SessionTrace.create(tmp_path, {"root_seed": 9})
+        tracer = session.attach(NULL_TRACER)
+        tracer.emit(TaskEvent(restart=0, status="dispatched"))
+        ctx = session.task_context(0, 0)
+        worker = open_worker_tracer(tmp_path, ctx, 0, 0)
+        worker.emit(SeedEvent(cluster=0))
+        worker.emit(IterationEvent(index=0, residue=1.0))
+        worker.close()
+        tracer.emit(TaskEvent(restart=0, status="completed"))
+        session.detach()
+        out = session.merge()
+        lines = [json.loads(line) for line in out.read_text().splitlines()]
+        assert lines[0]["session"] == session.session_id
+        assert lines[0]["processes"] == ["supervisor", "worker:00000:00"]
+        assert lines[0]["skipped_shards"] == []
+        types = [line["type"] for line in lines[1:]]
+        assert sorted(types) == ["iteration", "seed", "task", "task"]
+        # Session time starts at attach: every aligned ts is sane.
+        for line in lines[1:]:
+            assert 0.0 <= line["ts"] < 60.0

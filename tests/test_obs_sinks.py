@@ -421,6 +421,77 @@ class TestStatsd:
         ]
 
 
+class TestStatsdSanitization:
+    """Record content must never corrupt the line protocol (PR 10)."""
+
+    def _sink(self, **kwargs):
+        transport = FakeTransport()
+        return StatsdSink(transport=transport, **kwargs), transport
+
+    def test_delimiters_in_event_type_collapsed(self):
+        sink, transport = self._sink()
+        sink.write({"type": "evil:metric|c\ninjected:9|g"})
+        assert transport.lines == ["floc.events.evil_metric_c_injected_9_g:1|c"]
+        for line in transport.lines:
+            assert "\n" not in line
+            assert line.count(":") == 1 and line.count("|") == 1
+
+    def test_delimiters_in_seed_origin_collapsed(self):
+        sink, transport = self._sink()
+        sink.write({"type": "seed", "origin": "re:seed|phase"})
+        assert transport.lines == ["floc.seeds.re_seed_phase:1|c"]
+
+    def test_delimiters_in_span_name_collapsed(self):
+        sink, transport = self._sink()
+        sink.write({"type": "span", "name": "a|ms\nb:1|c", "elapsed_s": 0.001})
+        assert transport.lines == ["floc.span.a_ms_b_1_c:1|ms"]
+
+    def test_prefix_sanitized(self):
+        sink, transport = self._sink(prefix="bad:prefix|x")
+        assert sink.prefix == "bad_prefix_x"
+        sink.write({"type": "seed", "cluster": 0})
+        assert transport.lines == ["bad_prefix_x.seeds.phase1:1|c"]
+
+    def test_empty_name_component_becomes_underscore(self):
+        sink, transport = self._sink()
+        sink.write({"type": "seed", "origin": ": |"})
+        assert transport.lines == ["floc.seeds._:1|c"]
+
+    def test_whitespace_and_tag_chars_collapsed(self):
+        sink, transport = self._sink()
+        sink.write({"type": "two words,#tagged"})
+        assert transport.lines == ["floc.events.two_words_tagged:1|c"]
+
+    def test_nonfinite_values_dropped(self):
+        sink, transport = self._sink()
+        sink.write({"type": "action", "is_removal": False,
+                    "gain": float("nan")})
+        sink.write({"type": "iteration", "index": 0,
+                    "residue": float("inf"), "total_volume": 60,
+                    "n_actions": 2, "elapsed_s": float("-inf")})
+        assert transport.lines == [
+            "floc.actions:1|c",
+            "floc.admissions:1|c",
+            "floc.iterations:1|c",
+            "floc.total_volume:60|g",
+            "floc.sweep_actions:2|h",
+        ]
+
+    def test_boolean_values_not_numbers(self):
+        sink, transport = self._sink()
+        sink.write({"type": "action", "is_removal": False, "gain": True})
+        assert transport.lines == ["floc.actions:1|c", "floc.admissions:1|c"]
+
+    def test_non_numeric_iteration_fields_dropped(self):
+        sink, transport = self._sink()
+        sink.write({"type": "iteration", "index": 0, "residue": "oops",
+                    "total_volume": None, "n_actions": 3, "elapsed_s": "slow"})
+        assert transport.lines == [
+            "floc.iterations:1|c",
+            "floc.sweep_actions:3|h",
+        ]
+
+
 class TestOtlpJson:
     def test_payload_structure(self, tmp_path):
         path = tmp_path / "logs.json"
